@@ -1,0 +1,186 @@
+// Microbenchmarks of engine primitives (google-benchmark).
+//
+// These are not paper experiments — they time the substrate the experiments
+// stand on (key encoding, tuple serialization, B+tree ops, buffer pool,
+// executor throughput) so performance regressions in the engine itself are
+// visible independently of plan choices.
+#include <benchmark/benchmark.h>
+
+#include "engine/database.h"
+#include "exec/executor_factory.h"
+#include "storage/btree.h"
+#include "types/key_codec.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/queries.h"
+
+namespace relopt {
+namespace {
+
+// ---------------------------------------------------------------- codecs --
+
+void BM_EncodeIntKey(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Value> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(Value::Int(rng.UniformInt(-1e9, 1e9)));
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string out;
+    EncodeKeyValue(values[i++ & 1023], &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EncodeIntKey);
+
+void BM_EncodeCompositeKey(benchmark::State& state) {
+  std::vector<Value> key = {Value::Int(42), Value::String("hello world"), Value::Double(3.5)};
+  for (auto _ : state) {
+    std::string out = EncodeKey(key);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EncodeCompositeKey);
+
+void BM_TupleSerializeRoundTrip(benchmark::State& state) {
+  Tuple t({Value::Int(7), Value::String("some text payload"), Value::Double(2.25),
+           Value::Null(TypeId::kInt64)});
+  for (auto _ : state) {
+    std::string bytes = t.Serialize();
+    auto back = Tuple::Deserialize(bytes, 4);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_TupleSerializeRoundTrip);
+
+// ----------------------------------------------------------------- btree --
+
+void BM_BTreeInsert(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 1024);
+  BTree tree = *BTree::Create(&pool);
+  Rng rng(2);
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key = EncodeKey({Value::Int(rng.UniformInt(0, 1 << 20))});
+    benchmark::DoNotOptimize(tree.Insert(key, Rid{static_cast<PageNo>(i++), 0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 1024);
+  BTree tree = *BTree::Create(&pool);
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(EncodeKey({Value::Int(i)}), Rid{static_cast<PageNo>(i), 0});
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    auto rids = tree.SearchEqual(EncodeKey({Value::Int(rng.UniformInt(0, n - 1))}));
+    benchmark::DoNotOptimize(rids);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePointLookup)->Arg(1000)->Arg(100000);
+
+// ------------------------------------------------------------ buffer pool --
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  DiskManager disk;
+  BufferPool pool(&disk, 64);
+  FileId f = disk.CreateFile();
+  PageId pid = (*pool.NewPage(f))->page_id();
+  (void)pool.UnpinPage(pid, true);
+  for (auto _ : state) {
+    PageFrame* frame = *pool.FetchPage(pid);
+    benchmark::DoNotOptimize(frame);
+    (void)pool.UnpinPage(pid, false);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+// -------------------------------------------------------------- executors --
+
+/// End-to-end SELECT throughput: full scan + filter + aggregate over 50k
+/// rows, hot cache.
+void BM_ScanFilterAggregate(benchmark::State& state) {
+  Database db;
+  TableSpec t;
+  t.name = "t";
+  t.num_rows = 50000;
+  t.columns = {ColumnSpec::Serial("id"), ColumnSpec::Uniform("k", 0, 99)};
+  if (!GenerateTable(&db, t).ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
+  PhysicalPtr plan = db.PlanQuery("SELECT count(*) FROM t WHERE k < 50").MoveValue();
+  for (auto _ : state) {
+    auto result = db.ExecutePlan(*plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_ScanFilterAggregate);
+
+/// Hash-join throughput, 20k x 20k, hot cache.
+void BM_HashJoinThroughput(benchmark::State& state) {
+  Database db;
+  TableSpec r;
+  r.name = "r";
+  r.num_rows = 20000;
+  r.columns = {ColumnSpec::Serial("id"), ColumnSpec::Uniform("k", 0, 999)};
+  TableSpec s = r;
+  s.name = "s";
+  s.seed = 9;
+  if (!GenerateTable(&db, r).ok() || !GenerateTable(&db, s).ok()) {
+    state.SkipWithError("generate failed");
+    return;
+  }
+  PhysicalPtr plan = db.PlanQuery("SELECT count(*) FROM r, s WHERE r.k = s.k").MoveValue();
+  for (auto _ : state) {
+    auto result = db.ExecutePlan(*plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 40000);
+}
+BENCHMARK(BM_HashJoinThroughput);
+
+/// Optimization latency for a 6-relation chain (plan only).
+void BM_OptimizeChain6(benchmark::State& state) {
+  Database db;
+  JoinWorkloadSpec spec;
+  spec.num_relations = 6;
+  spec.base_rows = 100;
+  Result<std::string> q = BuildChainWorkload(&db, spec);
+  if (!q.ok()) {
+    state.SkipWithError("workload failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto plan = db.PlanQuery(*q);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_OptimizeChain6);
+
+/// SQL parse + bind latency.
+void BM_ParseAndBind(benchmark::State& state) {
+  Database db;
+  (void)db.Execute("CREATE TABLE t (a INT, b TEXT, c DOUBLE)").status();
+  const std::string sql =
+      "SELECT a, count(*), sum(c) FROM t WHERE a > 5 AND b = 'x' OR c BETWEEN 1 AND 2 "
+      "GROUP BY a HAVING count(*) > 1 ORDER BY a DESC LIMIT 10";
+  for (auto _ : state) {
+    auto plan = db.BindQuery(sql);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParseAndBind);
+
+}  // namespace
+}  // namespace relopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Shared benchmark utilities: aligned table printing and measured execution.
+//
+// Each bench binary regenerates one table/figure of the evaluation (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).
+// Results are printed as aligned text tables; timing uses steady_clock and
+// cost/I-O numbers come from the engine's own counters, so runs are
+// deterministic apart from wall-clock columns.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace relopt {
+namespace bench {
+
+/// Aligned fixed-width table printer for experiment output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string F(double v, int precision = 1);
+std::string FInt(uint64_t v);
+
+/// Measured execution of one SQL query with a cold cache.
+struct Measured {
+  double est_total_cost = 0;   ///< optimizer cost estimate (weighted total)
+  double est_io = 0;           ///< estimated page I/Os
+  double est_rows = 0;
+  uint64_t actual_reads = 0;   ///< physical page reads (cold cache)
+  uint64_t actual_writes = 0;
+  uint64_t pool_accesses = 0;  ///< logical page accesses (hits + misses)
+  uint64_t tuples = 0;         ///< tuples processed by operators
+  uint64_t rows = 0;           ///< result rows
+  double millis = 0;
+  std::string plan;            ///< rendered physical plan
+};
+
+/// Plans and executes `sql` on a cold buffer pool, collecting all counters.
+/// Aborts the process on error (benchmark context).
+Measured RunMeasured(Database* db, const std::string& sql);
+
+/// Executes an already-built plan on a cold cache.
+Measured RunPlanMeasured(Database* db, const PhysicalNode& plan);
+
+/// Plans only (no execution) and reports optimizer stats + elapsed time.
+struct PlannedOnly {
+  double est_total_cost = 0;
+  double millis = 0;
+  JoinEnumStats stats;
+  std::string plan;
+};
+PlannedOnly PlanMeasured(Database* db, const std::string& sql);
+
+/// Dies with a message if `status` is not OK.
+void CheckOk(const Status& status);
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  CheckOk(result.status());
+  return result.MoveValue();
+}
+
+}  // namespace bench
+}  // namespace relopt

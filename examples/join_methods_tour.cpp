@@ -1,0 +1,93 @@
+// Join methods tour: force each join method on the same query and watch the
+// measured page I/O match the cost model's story.
+//
+//   ./build/examples/join_methods_tour
+#include <cstdio>
+#include <iostream>
+
+#include "engine/database.h"
+#include "workload/generator.h"
+
+using namespace relopt;
+
+namespace {
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return result.MoveValue();
+}
+
+void DisableAll(JoinEnumOptions* o) {
+  o->enable_nlj = o->enable_bnlj = o->enable_inlj = o->enable_smj = o->enable_hash = false;
+}
+}  // namespace
+
+int main() {
+  SessionOptions options;
+  options.buffer_pool_pages = 96;
+  Database db(options);
+
+  TableSpec orders;
+  orders.name = "orders";
+  orders.num_rows = 20000;
+  orders.columns = {ColumnSpec::Serial("id"), ColumnSpec::Uniform("cust", 0, 999),
+                    ColumnSpec::Uniform("amount", 1, 9999)};
+  Check(GenerateTable(&db, orders));
+
+  TableSpec cust;
+  cust.name = "cust";
+  cust.num_rows = 1000;
+  cust.columns = {ColumnSpec::Serial("id"), ColumnSpec::Uniform("region", 0, 9)};
+  cust.seed = 2;
+  Check(GenerateTable(&db, cust));
+  Check(db.Execute("CREATE INDEX idx_cust_id ON cust (id)").status());
+
+  const std::string query =
+      "SELECT count(*) FROM orders, cust WHERE orders.cust = cust.id AND cust.region = 3";
+
+  struct MethodToggle {
+    const char* name;
+    bool JoinEnumOptions::*flag;
+  };
+  const MethodToggle methods[] = {
+      {"nested-loop", &JoinEnumOptions::enable_nlj},
+      {"block-nested-loop", &JoinEnumOptions::enable_bnlj},
+      {"index-nested-loop", &JoinEnumOptions::enable_inlj},
+      {"sort-merge", &JoinEnumOptions::enable_smj},
+      {"hash", &JoinEnumOptions::enable_hash},
+  };
+
+  std::printf("%-18s %10s %10s %10s %10s\n", "method", "est_cost", "reads", "tuples", "rows");
+  for (const MethodToggle& method : methods) {
+    DisableAll(&db.options().optimizer.join);
+    db.options().optimizer.join.*(method.flag) = true;
+    PhysicalPtr plan = Unwrap(db.PlanQuery(query));
+    if (plan->est_cost().cpu_tuples > 5e7) {
+      std::printf("%-18s %10.0f %10s %10s %10s  (estimate only; too slow to run)\n",
+                  method.name, plan->est_cost().Total(), "-", "-", "-");
+      continue;
+    }
+    Check(db.pool()->FlushAll());
+    Check(db.pool()->EvictAll());
+    db.ResetCounters();
+    QueryResult result = Unwrap(db.ExecutePlan(*plan));
+    const ExecutionMetrics& m = db.last_metrics();
+    std::printf("%-18s %10.0f %10llu %10llu %10lld\n", method.name, plan->est_cost().Total(),
+                static_cast<unsigned long long>(m.io.page_reads),
+                static_cast<unsigned long long>(m.tuples_processed),
+                static_cast<long long>(result.rows[0].At(0).AsInt()));
+  }
+
+  // What does the optimizer pick when everything is allowed?
+  db.options().optimizer.join = JoinEnumOptions{};
+  PhysicalPtr best = Unwrap(db.PlanQuery(query));
+  std::cout << "\noptimizer's choice with all methods enabled:\n" << best->ToString();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: create tables, load rows, ANALYZE, and run optimized queries.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "engine/database.h"
+
+using namespace relopt;
+
+namespace {
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  Check(result.status());
+  return result.MoveValue();
+}
+}  // namespace
+
+int main() {
+  Database db;
+
+  // Schema + data via plain SQL.
+  Check(db.Execute("CREATE TABLE users (id INT, name TEXT, age INT)").status());
+  Check(db.Execute("CREATE TABLE orders (id INT, user_id INT, amount DOUBLE)").status());
+  Check(db.Execute("INSERT INTO users VALUES "
+                   "(1, 'ada', 36), (2, 'brian', 41), (3, 'cliff', 29), (4, 'dana', 35)")
+            .status());
+  Check(db.Execute("INSERT INTO orders VALUES "
+                   "(100, 1, 9.5), (101, 1, 12.0), (102, 2, 30.25), (103, 3, 5.0), "
+                   "(104, 3, 7.75), (105, 3, 1.5)")
+            .status());
+
+  // Secondary index + statistics for the optimizer.
+  Check(db.Execute("CREATE INDEX idx_orders_user ON orders (user_id)").status());
+  Check(db.Execute("ANALYZE").status());
+
+  // A filtered join with aggregation, ordered.
+  const std::string query =
+      "SELECT users.name, count(*) AS n, sum(orders.amount) AS total "
+      "FROM users JOIN orders ON users.id = orders.user_id "
+      "WHERE users.age < 40 "
+      "GROUP BY users.name "
+      "ORDER BY total DESC";
+
+  std::cout << "=== plan ===\n" << Unwrap(db.Explain(query)) << "\n";
+  QueryResult result = Unwrap(db.Execute(query));
+  std::cout << "=== result ===\n" << result.ToString();
+
+  const ExecutionMetrics& m = db.last_metrics();
+  std::cout << "\npage reads: " << m.io.page_reads << ", pool hits: " << m.pool.hits
+            << ", tuples processed: " << m.tuples_processed << "\n";
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "catalog/catalog.h"
+
+#include "types/key_codec.h"
+#include "util/str_util.h"
+
+namespace relopt {
+
+std::string IndexInfo::KeyDescription(const Schema& schema) const {
+  std::string out = name + "(";
+  for (size_t i = 0; i < key_columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.ColumnAt(key_columns[i]).name;
+  }
+  out += ")";
+  return out;
+}
+
+void TableInfo::RemoveIndex(const std::string& index_name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if ((*it)->name == index_name) {
+      indexes_.erase(it);
+      return;
+    }
+  }
+}
+
+Result<Tuple> TableInfo::GetTuple(Rid rid) const {
+  RELOPT_ASSIGN_OR_RETURN(std::string bytes, heap_.Get(rid));
+  return Tuple::Deserialize(bytes, schema_.NumColumns());
+}
+
+Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  RELOPT_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_));
+  auto info = std::make_unique<TableInfo>(name, std::move(schema), std::move(heap));
+  TableInfo* raw = info.get();
+  tables_[key] = std::move(info);
+  return raw;
+}
+
+Result<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "' does not exist");
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "' does not exist");
+  TableInfo* table = it->second.get();
+  // Drop dependent indexes first.
+  std::vector<std::string> to_drop;
+  for (IndexInfo* idx : table->indexes()) to_drop.push_back(idx->name);
+  for (const std::string& idx_name : to_drop) {
+    auto iit = indexes_.find(ToLower(idx_name));
+    if (iit != indexes_.end()) {
+      RELOPT_RETURN_NOT_OK(pool_->DropFilePages(iit->second->tree->file_id()));
+      pool_->disk()->DeleteFile(iit->second->tree->file_id());
+      indexes_.erase(iit);
+    }
+  }
+  RELOPT_RETURN_NOT_OK(pool_->DropFilePages(table->heap()->file_id()));
+  pool_->disk()->DeleteFile(table->heap()->file_id());
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
+                                        const std::string& table_name,
+                                        const std::vector<std::string>& column_names,
+                                        bool clustered) {
+  std::string key = ToLower(index_name);
+  if (indexes_.count(key)) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, GetTable(table_name));
+  std::vector<size_t> key_columns;
+  for (const std::string& col : column_names) {
+    RELOPT_ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(col));
+    key_columns.push_back(idx);
+  }
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("index needs at least one column");
+  }
+
+  auto info = std::make_unique<IndexInfo>();
+  info->name = index_name;
+  info->table_name = table->name();
+  info->key_columns = key_columns;
+  info->clustered = clustered;
+  RELOPT_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_));
+  info->tree = std::make_unique<BTree>(std::move(tree));
+
+  // Bulk-build from existing rows.
+  HeapFile::Iterator it(table->heap());
+  Rid rid;
+  std::string bytes;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
+    std::string enc = EncodeKeyFromTuple(tuple, key_columns);
+    RELOPT_RETURN_NOT_OK(info->tree->Insert(enc, rid));
+  }
+
+  IndexInfo* raw = info.get();
+  indexes_[key] = std::move(info);
+  table->AddIndex(raw);
+  return raw;
+}
+
+Result<IndexInfo*> Catalog::GetIndex(const std::string& index_name) const {
+  auto it = indexes_.find(ToLower(index_name));
+  if (it == indexes_.end()) return Status::NotFound("index '" + index_name + "' does not exist");
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+Result<Rid> Catalog::InsertTuple(TableInfo* table, const Tuple& tuple) {
+  if (tuple.NumValues() != table->schema().NumColumns()) {
+    return Status::InvalidArgument("tuple has " + std::to_string(tuple.NumValues()) +
+                                   " values, table '" + table->name() + "' has " +
+                                   std::to_string(table->schema().NumColumns()) + " columns");
+  }
+  // Type-check against the schema (NULLs pass).
+  for (size_t i = 0; i < tuple.NumValues(); ++i) {
+    const Value& v = tuple.At(i);
+    if (!v.is_null() && v.type() != table->schema().ColumnAt(i).type) {
+      return Status::TypeError("value " + v.ToString() + " does not match column '" +
+                               table->schema().ColumnAt(i).name + "' type " +
+                               TypeIdToString(table->schema().ColumnAt(i).type));
+    }
+  }
+  RELOPT_ASSIGN_OR_RETURN(Rid rid, table->heap()->Insert(tuple.Serialize()));
+  for (IndexInfo* idx : table->indexes()) {
+    std::string enc = EncodeKeyFromTuple(tuple, idx->key_columns);
+    RELOPT_RETURN_NOT_OK(idx->tree->Insert(enc, rid));
+  }
+  table->set_live_rows(table->live_rows() + 1);
+  return rid;
+}
+
+Status Catalog::DeleteTuple(TableInfo* table, Rid rid) {
+  RELOPT_ASSIGN_OR_RETURN(Tuple tuple, table->GetTuple(rid));
+  for (IndexInfo* idx : table->indexes()) {
+    std::string enc = EncodeKeyFromTuple(tuple, idx->key_columns);
+    RELOPT_RETURN_NOT_OK(idx->tree->Delete(enc, rid));
+  }
+  RELOPT_RETURN_NOT_OK(table->heap()->Delete(rid));
+  table->set_live_rows(table->live_rows() > 0 ? table->live_rows() - 1 : 0);
+  return Status::OK();
+}
+
+Status Catalog::AnalyzeTable(const std::string& table_name, size_t num_buckets) {
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, GetTable(table_name));
+  StatsBuilder builder(table->schema(), num_buckets);
+  HeapFile::Iterator it(table->heap());
+  Rid rid;
+  std::string bytes;
+  uint64_t rows = 0;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
+    builder.AddRow(tuple);
+    ++rows;
+  }
+  RELOPT_ASSIGN_OR_RETURN(TableStats stats, builder.Finish(table->heap()->NumPages()));
+  table->set_stats(std::move(stats));
+  table->set_has_stats(true);
+  table->set_live_rows(rows);
+  return Status::OK();
+}
+
+}  // namespace relopt

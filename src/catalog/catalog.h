@@ -1,0 +1,116 @@
+// Catalog: tables, indexes, and their statistics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "util/result.h"
+
+namespace relopt {
+
+class Catalog;
+
+/// A secondary (or clustered) B+tree index over one table.
+struct IndexInfo {
+  std::string name;
+  std::string table_name;
+  std::vector<size_t> key_columns;   ///< column positions in the table schema
+  bool clustered = false;            ///< heap is physically ordered by the key
+  std::unique_ptr<BTree> tree;
+
+  /// "idx(t.a, t.b)" for plan printing.
+  std::string KeyDescription(const Schema& schema) const;
+};
+
+/// A base table: schema + heap storage + statistics + indexes.
+class TableInfo {
+ public:
+  TableInfo(std::string name, Schema schema, HeapFile heap)
+      : name_(std::move(name)), schema_(std::move(schema)), heap_(std::move(heap)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  HeapFile* heap() { return &heap_; }
+  const HeapFile* heap() const { return &heap_; }
+
+  const TableStats& stats() const { return stats_; }
+  void set_stats(TableStats stats) { stats_ = std::move(stats); }
+  bool has_stats() const { return has_stats_; }
+  void set_has_stats(bool v) { has_stats_ = v; }
+
+  const std::vector<IndexInfo*>& indexes() const { return indexes_; }
+  void AddIndex(IndexInfo* index) { indexes_.push_back(index); }
+  void RemoveIndex(const std::string& index_name);
+
+  /// Reads and decodes the tuple at `rid`.
+  Result<Tuple> GetTuple(Rid rid) const;
+
+  /// Rows inserted since creation (maintained by Catalog::InsertTuple).
+  uint64_t live_rows() const { return live_rows_; }
+  void set_live_rows(uint64_t n) { live_rows_ = n; }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  HeapFile heap_;
+  TableStats stats_;
+  bool has_stats_ = false;
+  std::vector<IndexInfo*> indexes_;
+  uint64_t live_rows_ = 0;
+};
+
+/// \brief Owns all tables and indexes. Insert/delete go through the catalog
+/// so secondary indexes stay consistent.
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool() const { return pool_; }
+
+  /// Creates an empty table. AlreadyExists if the name is taken.
+  Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
+
+  /// NotFound if absent. Name matching is case-insensitive.
+  Result<TableInfo*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Drops the table, its storage, and its indexes.
+  Status DropTable(const std::string& name);
+
+  /// Builds a B+tree over existing rows. `clustered` asserts the heap is
+  /// physically ordered by the key (the caller's responsibility; the cost
+  /// model and the actual I/O both depend on it being true).
+  Result<IndexInfo*> CreateIndex(const std::string& index_name, const std::string& table_name,
+                                 const std::vector<std::string>& column_names,
+                                 bool clustered = false);
+
+  Result<IndexInfo*> GetIndex(const std::string& index_name) const;
+
+  /// All table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Inserts a row: heap + every index. Returns the RID.
+  Result<Rid> InsertTuple(TableInfo* table, const Tuple& tuple);
+
+  /// Deletes a row from heap + every index.
+  Status DeleteTuple(TableInfo* table, Rid rid);
+
+  /// Full-scan ANALYZE: recomputes TableStats (histograms with `num_buckets`
+  /// buckets; 0 disables them).
+  Status AnalyzeTable(const std::string& table_name, size_t num_buckets = 32);
+
+ private:
+  BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;   // lower-cased keys
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;  // lower-cased keys
+};
+
+}  // namespace relopt

@@ -1,0 +1,344 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+#include "expr/fold.h"
+#include "util/str_util.h"
+
+namespace relopt {
+
+std::string QueryResult::ToString() const {
+  // Column widths.
+  std::vector<std::string> headers;
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    headers.push_back(schema.ColumnAt(i).QualifiedName());
+  }
+  std::vector<size_t> widths;
+  for (const std::string& h : headers) widths.push_back(h.size());
+  std::vector<std::vector<std::string>> cells;
+  for (const Tuple& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.NumValues(); ++i) {
+      std::string s = row.At(i).ToString();
+      if (i < widths.size()) widths[i] = std::max(widths[i], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  for (size_t i = 0; i < headers.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += headers[i];
+    out += std::string(widths[i] - headers[i].size(), ' ');
+  }
+  out += "\n";
+  for (size_t i = 0; i < headers.size(); ++i) {
+    if (i > 0) out += "-+-";
+    out += std::string(widths[i], '-');
+  }
+  out += "\n";
+  for (const std::vector<std::string>& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += line[i];
+      if (i < widths.size() && widths[i] > line[i].size()) {
+        out += std::string(widths[i] - line[i].size(), ' ');
+      }
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows.size()) + " rows)\n";
+  return out;
+}
+
+Database::Database(SessionOptions options)
+    : options_(std::move(options)),
+      disk_(std::make_unique<DiskManager>()),
+      pool_(std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages)),
+      catalog_(std::make_unique<Catalog>(pool_.get())) {
+  options_.optimizer.buffer_pages = options_.buffer_pool_pages;
+}
+
+void Database::ResetCounters() {
+  disk_->ResetStats();
+  pool_->ResetStats();
+}
+
+Result<LogicalPtr> Database::BindQuery(const std::string& select_sql) {
+  RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(select_sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  Binder binder(catalog_.get());
+  return binder.BindSelect(static_cast<SelectStmt*>(stmt.get()));
+}
+
+Result<PhysicalPtr> Database::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
+  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, BindQuery(select_sql));
+  options_.optimizer.buffer_pages = pool_->capacity();
+  Optimizer optimizer(catalog_.get(), options_.optimizer);
+  return optimizer.Optimize(std::move(logical), info);
+}
+
+Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
+  IoStats io_before = disk_->stats();
+  BufferPoolStats pool_before = pool_->stats();
+
+  ExecContext ctx(catalog_.get(), pool_.get());
+  RELOPT_ASSIGN_OR_RETURN(ExecutorPtr root, BuildExecutor(&ctx, &plan));
+  RELOPT_RETURN_NOT_OK(root->Init());
+  QueryResult result;
+  result.schema = plan.schema();
+  Tuple t;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
+    if (!has) break;
+    result.rows.push_back(std::move(t));
+  }
+
+  IoStats io_after = disk_->stats();
+  BufferPoolStats pool_after = pool_->stats();
+  metrics_.io.page_reads = io_after.page_reads - io_before.page_reads;
+  metrics_.io.page_writes = io_after.page_writes - io_before.page_writes;
+  metrics_.io.pages_allocated = io_after.pages_allocated - io_before.pages_allocated;
+  metrics_.pool.hits = pool_after.hits - pool_before.hits;
+  metrics_.pool.misses = pool_after.misses - pool_before.misses;
+  metrics_.pool.evictions = pool_after.evictions - pool_before.evictions;
+  metrics_.pool.dirty_writebacks = pool_after.dirty_writebacks - pool_before.dirty_writebacks;
+  metrics_.tuples_processed = ctx.tuples_processed;
+  metrics_.est_rows = plan.est_rows();
+  metrics_.est_cost = plan.est_cost();
+  metrics_.actual_rows = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> Database::RunSelect(SelectStmt* stmt) {
+  Binder binder(catalog_.get());
+  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
+  options_.optimizer.buffer_pages = pool_->capacity();
+  Optimizer optimizer(catalog_.get(), options_.optimizer);
+  OptimizeInfo info;
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, optimizer.Optimize(std::move(logical), &info));
+  RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
+  metrics_.enum_stats = info.enum_stats;
+  metrics_.order_from_plan = info.order_from_plan;
+  return result;
+}
+
+Result<std::string> Database::RunExplain(ExplainStmt* stmt) {
+  Binder binder(catalog_.get());
+  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical,
+                          binder.BindSelect(static_cast<SelectStmt*>(stmt->inner.get())));
+  options_.optimizer.buffer_pages = pool_->capacity();
+  Optimizer optimizer(catalog_.get(), options_.optimizer);
+  OptimizeInfo info;
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, optimizer.Optimize(std::move(logical), &info));
+  std::string out = plan->ToString();
+  if (stmt->analyze) {
+    RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
+    out += StringPrintf(
+        "actual: rows=%zu page_reads=%llu page_writes=%llu pool_hits=%llu pool_misses=%llu "
+        "tuples=%llu\n",
+        result.rows.size(), static_cast<unsigned long long>(metrics_.io.page_reads),
+        static_cast<unsigned long long>(metrics_.io.page_writes),
+        static_cast<unsigned long long>(metrics_.pool.hits),
+        static_cast<unsigned long long>(metrics_.pool.misses),
+        static_cast<unsigned long long>(metrics_.tuples_processed));
+  }
+  return out;
+}
+
+Result<std::string> Database::Explain(const std::string& select_sql) {
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, PlanQuery(select_sql));
+  return plan->ToString();
+}
+
+Status Database::RunInsert(InsertStmt* stmt) {
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt->table_name));
+  const Schema& schema = table->schema();
+
+  // Map the statement's columns to schema positions.
+  std::vector<size_t> positions;
+  if (stmt->columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt->columns) {
+      RELOPT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+      positions.push_back(idx);
+    }
+  }
+
+  for (std::vector<ExprPtr>& row : stmt->rows) {
+    if (row.size() != positions.size()) {
+      return Status::InvalidArgument("INSERT row has " + std::to_string(row.size()) +
+                                     " values, expected " + std::to_string(positions.size()));
+    }
+    std::vector<Value> values(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < schema.NumColumns(); ++i) {
+      values[i] = Value::Null(schema.ColumnAt(i).type);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      ExprPtr folded = FoldConstants(std::move(row[i]));
+      RELOPT_ASSIGN_OR_RETURN(Value v, folded->Eval(Tuple()));
+      RELOPT_ASSIGN_OR_RETURN(Value cast, v.CastTo(schema.ColumnAt(positions[i]).type));
+      values[positions[i]] = std::move(cast);
+    }
+    RELOPT_ASSIGN_OR_RETURN(Rid rid, catalog_->InsertTuple(table, Tuple(std::move(values))));
+    (void)rid;
+  }
+  return Status::OK();
+}
+
+Status Database::RunDelete(DeleteStmt* stmt) {
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt->table_name));
+  ExprPtr pred;
+  if (stmt->where) {
+    pred = FoldConstants(std::move(stmt->where));
+    RELOPT_RETURN_NOT_OK(pred->Bind(table->schema().WithQualifier(table->name())));
+  }
+  // Collect matching RIDs first, then delete (no iterator invalidation).
+  std::vector<Rid> to_delete;
+  HeapFile::Iterator it(table->heap());
+  Rid rid;
+  std::string bytes;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
+    bool matches = true;
+    if (pred) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
+      matches = !v.is_null() && v.AsBool();
+    }
+    if (matches) to_delete.push_back(rid);
+  }
+  for (Rid r : to_delete) {
+    RELOPT_RETURN_NOT_OK(catalog_->DeleteTuple(table, r));
+  }
+  return Status::OK();
+}
+
+Status Database::RunUpdate(UpdateStmt* stmt) {
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt->table_name));
+  const Schema qualified = table->schema().WithQualifier(table->name());
+
+  // Resolve assignment targets and bind value expressions (they may read the
+  // row's old values).
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (auto& [col_name, value_expr] : stmt->assignments) {
+    RELOPT_ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(col_name));
+    ExprPtr expr = FoldConstants(std::move(value_expr));
+    RELOPT_RETURN_NOT_OK(expr->Bind(qualified));
+    assignments.emplace_back(idx, std::move(expr));
+  }
+  ExprPtr pred;
+  if (stmt->where) {
+    pred = FoldConstants(std::move(stmt->where));
+    RELOPT_RETURN_NOT_OK(pred->Bind(qualified));
+  }
+
+  // Collect the new images first (no iterator invalidation, and the scan
+  // never sees its own updates).
+  std::vector<std::pair<Rid, Tuple>> updates;
+  HeapFile::Iterator it(table->heap());
+  Rid rid;
+  std::string bytes;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
+    if (pred) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
+      if (v.is_null() || !v.AsBool()) continue;
+    }
+    Tuple updated = tuple;
+    for (const auto& [idx, expr] : assignments) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, expr->Eval(tuple));
+      RELOPT_ASSIGN_OR_RETURN(Value cast, v.CastTo(table->schema().ColumnAt(idx).type));
+      updated.MutableAt(idx) = std::move(cast);
+    }
+    updates.emplace_back(rid, std::move(updated));
+  }
+  // Apply as delete + insert so every index stays consistent.
+  for (auto& [old_rid, new_tuple] : updates) {
+    RELOPT_RETURN_NOT_OK(catalog_->DeleteTuple(table, old_rid));
+    RELOPT_ASSIGN_OR_RETURN(Rid new_rid, catalog_->InsertTuple(table, new_tuple));
+    (void)new_rid;
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows) {
+  *produced_rows = false;
+  switch (stmt->kind) {
+    case StatementKind::kCreateTable: {
+      auto* create = static_cast<CreateTableStmt*>(stmt);
+      Schema schema;
+      for (const ColumnDef& def : create->columns) {
+        schema.AddColumn(Column(def.name, def.type, create->table_name));
+      }
+      RELOPT_ASSIGN_OR_RETURN(TableInfo * table,
+                              catalog_->CreateTable(create->table_name, std::move(schema)));
+      (void)table;
+      return QueryResult{};
+    }
+    case StatementKind::kCreateIndex: {
+      auto* create = static_cast<CreateIndexStmt*>(stmt);
+      RELOPT_ASSIGN_OR_RETURN(IndexInfo * index,
+                              catalog_->CreateIndex(create->index_name, create->table_name,
+                                                    create->columns, create->clustered));
+      (void)index;
+      return QueryResult{};
+    }
+    case StatementKind::kInsert:
+      RELOPT_RETURN_NOT_OK(RunInsert(static_cast<InsertStmt*>(stmt)));
+      return QueryResult{};
+    case StatementKind::kAnalyze: {
+      auto* analyze = static_cast<AnalyzeStmt*>(stmt);
+      if (!analyze->table_name.empty()) {
+        RELOPT_RETURN_NOT_OK(catalog_->AnalyzeTable(analyze->table_name,
+                                                    options_.analyze_buckets));
+      } else {
+        for (const std::string& name : catalog_->TableNames()) {
+          RELOPT_RETURN_NOT_OK(catalog_->AnalyzeTable(name, options_.analyze_buckets));
+        }
+      }
+      return QueryResult{};
+    }
+    case StatementKind::kDelete:
+      RELOPT_RETURN_NOT_OK(RunDelete(static_cast<DeleteStmt*>(stmt)));
+      return QueryResult{};
+    case StatementKind::kUpdate:
+      RELOPT_RETURN_NOT_OK(RunUpdate(static_cast<UpdateStmt*>(stmt)));
+      return QueryResult{};
+    case StatementKind::kSelect: {
+      *produced_rows = true;
+      return RunSelect(static_cast<SelectStmt*>(stmt));
+    }
+    case StatementKind::kExplain: {
+      *produced_rows = true;
+      RELOPT_ASSIGN_OR_RETURN(std::string text, RunExplain(static_cast<ExplainStmt*>(stmt)));
+      QueryResult result;
+      result.schema.AddColumn(Column("plan", TypeId::kString));
+      for (const std::string& line : Split(text, '\n')) {
+        if (line.empty()) continue;
+        result.rows.push_back(Tuple({Value::String(line)}));
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  RELOPT_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
+  QueryResult last;
+  for (StatementPtr& stmt : stmts) {
+    bool produced = false;
+    RELOPT_ASSIGN_OR_RETURN(QueryResult result, RunStatement(stmt.get(), &produced));
+    if (produced) last = std::move(result);
+  }
+  return last;
+}
+
+}  // namespace relopt

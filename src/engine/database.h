@@ -1,0 +1,103 @@
+// Database: the top-level facade tying parser, binder, optimizer, executor,
+// storage, and catalog together.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "exec/executor_factory.h"
+#include "expr/binder.h"
+#include "optimizer/optimizer.h"
+#include "parser/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace relopt {
+
+/// Per-session knobs. `optimizer.buffer_pages` is kept in sync with the real
+/// buffer pool automatically.
+struct SessionOptions {
+  size_t buffer_pool_pages = 256;
+  OptimizerOptions optimizer;
+  size_t analyze_buckets = 32;
+};
+
+/// A fully materialized query result.
+struct QueryResult {
+  Schema schema;
+  std::vector<Tuple> rows;
+
+  /// Pretty-printed table.
+  std::string ToString() const;
+};
+
+/// Counters captured around one statement's execution.
+struct ExecutionMetrics {
+  IoStats io;                 ///< page reads/writes during execution
+  BufferPoolStats pool;       ///< hits/misses during execution
+  uint64_t tuples_processed = 0;
+  double est_rows = 0;        ///< optimizer's cardinality estimate
+  Cost est_cost;              ///< optimizer's cost estimate
+  uint64_t actual_rows = 0;
+  JoinEnumStats enum_stats;
+  bool order_from_plan = false;
+};
+
+/// \brief An embedded single-threaded relational engine with a cost-based
+/// optimizer. See README.md for the quickstart.
+class Database {
+ public:
+  explicit Database(SessionOptions options = SessionOptions{});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- SQL entry points ---------------------------------------------------
+
+  /// Runs a script (semicolon-separated). Returns the result of the LAST
+  /// statement that produces rows (SELECT/EXPLAIN), or an empty result.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// EXPLAIN convenience: the optimized physical plan as text.
+  Result<std::string> Explain(const std::string& select_sql);
+
+  // --- programmatic API (benchmarks drive these directly) ------------------
+
+  /// Parses + binds + optimizes one SELECT, without executing.
+  Result<PhysicalPtr> PlanQuery(const std::string& select_sql, OptimizeInfo* info = nullptr);
+
+  /// Binds one parsed SELECT into a logical plan.
+  Result<LogicalPtr> BindQuery(const std::string& select_sql);
+
+  /// Executes a physical plan to completion.
+  Result<QueryResult> ExecutePlan(const PhysicalNode& plan);
+
+  // --- components -----------------------------------------------------------
+  Catalog* catalog() { return catalog_.get(); }
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+  SessionOptions& options() { return options_; }
+
+  /// Counters from the most recent Execute/ExecutePlan.
+  const ExecutionMetrics& last_metrics() const { return metrics_; }
+
+  /// Zeroes disk + pool counters (benchmarks call between phases).
+  void ResetCounters();
+
+ private:
+  Result<QueryResult> RunStatement(Statement* stmt, bool* produced_rows);
+  Result<QueryResult> RunSelect(SelectStmt* stmt);
+  Result<std::string> RunExplain(ExplainStmt* stmt);
+  Status RunInsert(InsertStmt* stmt);
+  Status RunDelete(DeleteStmt* stmt);
+  Status RunUpdate(UpdateStmt* stmt);
+
+  SessionOptions options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  ExecutionMetrics metrics_;
+};
+
+}  // namespace relopt

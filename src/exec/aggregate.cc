@@ -1,0 +1,141 @@
+#include "exec/aggregate.h"
+
+#include "types/key_codec.h"
+
+namespace relopt {
+
+AggregateExecutor::AggregateExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
+                                     std::vector<const Expression*> group_exprs,
+                                     std::vector<AggSpecExec> aggs)
+    : Executor(ctx, std::move(out_schema)),
+      child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)) {}
+
+Status AggregateExecutor::Accumulate(Group* group, const Tuple& tuple) {
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    Accumulator& acc = group->accs[i];
+    const AggSpecExec& spec = aggs_[i];
+    if (spec.func == AggFunc::kCountStar) {
+      acc.count++;
+      acc.has_value = true;
+      continue;
+    }
+    RELOPT_ASSIGN_OR_RETURN(Value v, spec.arg->Eval(tuple));
+    if (v.is_null()) continue;  // aggregates ignore NULLs
+    acc.count++;
+    switch (spec.func) {
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (v.type() == TypeId::kInt64 && acc.sum_is_int) {
+          acc.sum_i += v.AsInt();
+        } else {
+          if (acc.sum_is_int) {
+            acc.sum_d = static_cast<double>(acc.sum_i);
+            acc.sum_is_int = false;
+          }
+          acc.sum_d += v.NumericAsDouble();
+        }
+        break;
+      case AggFunc::kMin: {
+        if (!acc.has_value) {
+          acc.min = v;
+        } else {
+          RELOPT_ASSIGN_OR_RETURN(int c, v.Compare(acc.min));
+          if (c < 0) acc.min = v;
+        }
+        break;
+      }
+      case AggFunc::kMax: {
+        if (!acc.has_value) {
+          acc.max = v;
+        } else {
+          RELOPT_ASSIGN_OR_RETURN(int c, v.Compare(acc.max));
+          if (c > 0) acc.max = v;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    acc.has_value = true;
+  }
+  return Status::OK();
+}
+
+Result<Value> AggregateExecutor::Finalize(const Accumulator& acc, const AggSpecExec& spec) const {
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int(acc.count);
+    case AggFunc::kSum:
+      if (acc.count == 0) return Value::Null();
+      return acc.sum_is_int ? Value::Int(acc.sum_i) : Value::Double(acc.sum_d);
+    case AggFunc::kAvg: {
+      if (acc.count == 0) return Value::Null(TypeId::kDouble);
+      double total = acc.sum_is_int ? static_cast<double>(acc.sum_i) : acc.sum_d;
+      return Value::Double(total / static_cast<double>(acc.count));
+    }
+    case AggFunc::kMin:
+      return acc.count == 0 ? Value::Null() : acc.min;
+    case AggFunc::kMax:
+      return acc.count == 0 ? Value::Null() : acc.max;
+  }
+  return Status::Internal("bad aggregate function");
+}
+
+Status AggregateExecutor::Init() {
+  groups_.clear();
+  done_build_ = false;
+  ResetCounters();
+  RELOPT_RETURN_NOT_OK(child_->Init());
+
+  Tuple t;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) break;
+    std::vector<Value> keys;
+    keys.reserve(group_exprs_.size());
+    for (const Expression* g : group_exprs_) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, g->Eval(t));
+      keys.push_back(std::move(v));
+    }
+    std::string enc = EncodeKey(keys);
+    auto it = groups_.find(enc);
+    if (it == groups_.end()) {
+      Group group;
+      group.keys = std::move(keys);
+      group.accs.resize(aggs_.size());
+      it = groups_.emplace(std::move(enc), std::move(group)).first;
+    }
+    RELOPT_RETURN_NOT_OK(Accumulate(&it->second, t));
+  }
+
+  // Scalar aggregate over an empty input still yields one (default) row.
+  if (groups_.empty() && group_exprs_.empty()) {
+    Group group;
+    group.accs.resize(aggs_.size());
+    groups_.emplace(std::string(), std::move(group));
+  }
+  out_iter_ = groups_.begin();
+  done_build_ = true;
+  return Status::OK();
+}
+
+Result<bool> AggregateExecutor::Next(Tuple* out) {
+  if (!done_build_ || out_iter_ == groups_.end()) return false;
+  const Group& group = out_iter_->second;
+  std::vector<Value> values = group.keys;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    RELOPT_ASSIGN_OR_RETURN(Value v, Finalize(group.accs[i], aggs_[i]));
+    values.push_back(std::move(v));
+  }
+  *out = Tuple(std::move(values));
+  ++out_iter_;
+  CountRow();
+  return true;
+}
+
+}  // namespace relopt

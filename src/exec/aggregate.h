@@ -1,0 +1,59 @@
+// Hash aggregation executor.
+#pragma once
+
+#include <map>
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+/// One aggregate to compute at execution time.
+struct AggSpecExec {
+  AggFunc func;
+  const Expression* arg;  // null for COUNT(*)
+};
+
+/// \brief Hash (here: ordered-map) aggregation. Groups on the encoded group
+/// key, so NULLs group together (SQL GROUP BY semantics) and output order is
+/// deterministic (ascending group key).
+///
+/// SQL semantics: COUNT(*) counts rows; COUNT/SUM/MIN/MAX/AVG ignore NULL
+/// arguments; SUM/MIN/MAX/AVG over zero non-null inputs yield NULL. With no
+/// GROUP BY, an empty input still produces one row.
+class AggregateExecutor : public Executor {
+ public:
+  AggregateExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
+                    std::vector<const Expression*> group_exprs, std::vector<AggSpecExec> aggs);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  struct Accumulator {
+    int64_t count = 0;        // COUNT(expr) / COUNT(*) and AVG denominator
+    double sum_d = 0;
+    int64_t sum_i = 0;
+    bool sum_is_int = true;
+    bool has_value = false;   // any non-null input seen
+    Value min;
+    Value max;
+  };
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<Accumulator> accs;
+  };
+
+  Status Accumulate(Group* group, const Tuple& tuple);
+  Result<Value> Finalize(const Accumulator& acc, const AggSpecExec& spec) const;
+
+  ExecutorPtr child_;
+  std::vector<const Expression*> group_exprs_;
+  std::vector<AggSpecExec> aggs_;
+
+  std::map<std::string, Group> groups_;
+  std::map<std::string, Group>::const_iterator out_iter_;
+  bool done_build_ = false;
+};
+
+}  // namespace relopt

@@ -1,0 +1,42 @@
+// Block nested loop join: buffer a block of outer rows, scan inner per block.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+/// Buffers up to `block_pages * kPageSize` bytes of outer rows, then scans
+/// the inner once per block — the classic fix that turns N_outer inner scans
+/// into ceil(P_outer / B) of them.
+class BlockNestedLoopJoinExecutor : public Executor {
+ public:
+  BlockNestedLoopJoinExecutor(ExecContext* ctx, ExecutorPtr outer, ExecutorPtr inner,
+                              const Expression* predicate, size_t block_pages)
+      : Executor(ctx, Schema::Concat(outer->schema(), inner->schema())),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        predicate_(predicate),
+        block_bytes_(block_pages * kPageSize) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  /// Fills `block_` from the outer child; false if the outer is exhausted
+  /// and nothing was buffered.
+  Result<bool> LoadBlock();
+
+  ExecutorPtr outer_;
+  ExecutorPtr inner_;
+  const Expression* predicate_;
+  size_t block_bytes_;
+
+  std::vector<Tuple> block_;
+  bool outer_done_ = false;
+  bool block_active_ = false;  // a block is loaded and the inner scan is live
+  Tuple inner_tuple_;
+  bool have_inner_ = false;
+  size_t block_idx_ = 0;
+};
+
+}  // namespace relopt

@@ -1,0 +1,35 @@
+#include "exec/executor.h"
+
+namespace relopt {
+
+ExecContext::~ExecContext() {
+  for (FileId id : scratch_files_) {
+    (void)pool_->DropFilePages(id);
+    pool_->disk()->DeleteFile(id);
+  }
+}
+
+Result<HeapFile> ExecContext::CreateScratchHeap() {
+  RELOPT_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_));
+  scratch_files_.push_back(heap.file_id());
+  return heap;
+}
+
+void ExecContext::ReleaseScratchHeap(FileId file_id) {
+  for (auto it = scratch_files_.begin(); it != scratch_files_.end(); ++it) {
+    if (*it == file_id) {
+      scratch_files_.erase(it);
+      break;
+    }
+  }
+  (void)pool_->DropFilePages(file_id);
+  pool_->disk()->DeleteFile(file_id);
+}
+
+size_t ExecContext::operator_memory_pages() const {
+  size_t cap = pool_->capacity();
+  // Reserve a handful of frames for concurrently pinned I/O pages.
+  return cap > 8 ? cap - 8 : 1;
+}
+
+}  // namespace relopt

@@ -1,0 +1,91 @@
+// Volcano-style executor interface and execution context.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/expression.h"
+#include "storage/buffer_pool.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// \brief Per-query execution context: catalog + buffer pool + scratch-file
+/// management + runtime counters.
+///
+/// Scratch heaps (sort runs, Grace partitions, materializations) are created
+/// through the context and destroyed with it, so their page I/O is counted by
+/// the same DiskManager the optimizer models.
+class ExecContext {
+ public:
+  ExecContext(Catalog* catalog, BufferPool* pool)
+      : catalog_(catalog), pool_(pool) {}
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  Catalog* catalog() const { return catalog_; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Creates a scratch heap file (freed when the context dies).
+  Result<HeapFile> CreateScratchHeap();
+  /// Frees one scratch heap early (e.g. merged sort runs).
+  void ReleaseScratchHeap(FileId file_id);
+
+  /// Memory budget (in pages) for sort runs / hash tables / BNLJ blocks,
+  /// derived from the buffer pool size: operators get roughly the pool minus
+  /// a small reserve for pinned I/O pages.
+  size_t operator_memory_pages() const;
+
+  /// Total tuples passed through operators (the "RSI calls" actual).
+  uint64_t tuples_processed = 0;
+
+ private:
+  Catalog* catalog_;
+  BufferPool* pool_;
+  std::vector<FileId> scratch_files_;
+};
+
+/// \brief Base iterator. Usage: Init(), then Next() until it returns false.
+/// Init() may be called again to restart the stream from the beginning
+/// (used by nested-loop joins to re-scan their inner input).
+class Executor {
+ public:
+  Executor(ExecContext* ctx, Schema schema) : ctx_(ctx), schema_(std::move(schema)) {}
+  virtual ~Executor() = default;
+
+  virtual Status Init() = 0;
+  /// Produces the next tuple; false = exhausted.
+  virtual Result<bool> Next(Tuple* out) = 0;
+
+  const Schema& schema() const { return schema_; }
+  uint64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  /// Bump shared + per-node counters when emitting a row.
+  void CountRow() {
+    ++rows_produced_;
+    ++ctx_->tuples_processed;
+  }
+  /// Reset per-node counters on Init (restarts recount).
+  void ResetCounters() { rows_produced_ = 0; }
+
+  ExecContext* ctx_;
+  Schema schema_;
+  uint64_t rows_produced_ = 0;
+};
+
+using ExecutorPtr = std::unique_ptr<Executor>;
+
+/// Evaluates a predicate with SQL semantics: NULL and false both reject.
+inline Result<bool> PredicatePasses(const Expression* pred, const Tuple& tuple) {
+  if (pred == nullptr) return true;
+  RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
+  return !v.is_null() && v.AsBool();
+}
+
+}  // namespace relopt

@@ -1,0 +1,152 @@
+#include "exec/executor_factory.h"
+
+#include "exec/aggregate.h"
+#include "exec/block_nested_loop_join.h"
+#include "exec/external_sort.h"
+#include "exec/filter.h"
+#include "exec/hash_join.h"
+#include "exec/index_nested_loop_join.h"
+#include "exec/index_scan.h"
+#include "exec/limit.h"
+#include "exec/materialize.h"
+#include "exec/nested_loop_join.h"
+#include "exec/project.h"
+#include "exec/seq_scan.h"
+#include "exec/sort_merge_join.h"
+#include "exec/values_exec.h"
+#include "types/key_codec.h"
+
+namespace relopt {
+
+Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
+  switch (plan->kind()) {
+    case PhysicalNodeKind::kSeqScan: {
+      const auto* node = static_cast<const PhysSeqScan*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(TableInfo * table, ctx->catalog()->GetTable(node->table_name()));
+      return ExecutorPtr(std::make_unique<SeqScanExecutor>(ctx, node->schema(), table));
+    }
+    case PhysicalNodeKind::kIndexScan: {
+      const auto* node = static_cast<const PhysIndexScan*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(TableInfo * table, ctx->catalog()->GetTable(node->table_name()));
+      RELOPT_ASSIGN_OR_RETURN(IndexInfo * index, ctx->catalog()->GetIndex(node->index_name()));
+      std::optional<std::string> lo;
+      std::optional<std::string> hi;
+      bool lo_inclusive = node->lo_inclusive;
+      bool hi_inclusive = node->hi_inclusive;
+      if (!node->lo_values.empty()) lo = EncodeKey(node->lo_values);
+      if (!node->hi_values.empty()) {
+        std::string enc = EncodeKey(node->hi_values);
+        if (node->hi_values.size() < index->key_columns.size()) {
+          // Upper bound on a key prefix covers all longer keys with that
+          // prefix: widen to the prefix successor.
+          if (hi_inclusive) {
+            std::string succ = PrefixSuccessor(enc);
+            if (succ.empty()) {
+              hi = std::nullopt;
+            } else {
+              hi = std::move(succ);
+              hi_inclusive = false;
+            }
+          } else {
+            hi = std::move(enc);
+          }
+        } else {
+          hi = std::move(enc);
+        }
+      }
+      return ExecutorPtr(std::make_unique<IndexScanExecutor>(
+          ctx, node->schema(), table, index, std::move(lo), lo_inclusive, std::move(hi),
+          hi_inclusive, node->residual.get()));
+    }
+    case PhysicalNodeKind::kFilter: {
+      const auto* node = static_cast<const PhysFilter*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      return ExecutorPtr(
+          std::make_unique<FilterExecutor>(ctx, std::move(child), node->predicate()));
+    }
+    case PhysicalNodeKind::kProject: {
+      const auto* node = static_cast<const PhysProject*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      return ExecutorPtr(
+          std::make_unique<ProjectExecutor>(ctx, node->schema(), std::move(child), &node->exprs()));
+    }
+    case PhysicalNodeKind::kNestedLoopJoin: {
+      const auto* node = static_cast<const PhysNestedLoopJoin*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1)));
+      return ExecutorPtr(std::make_unique<NestedLoopJoinExecutor>(
+          ctx, std::move(outer), std::move(inner), node->predicate()));
+    }
+    case PhysicalNodeKind::kBlockNestedLoopJoin: {
+      const auto* node = static_cast<const PhysBlockNestedLoopJoin*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1)));
+      return ExecutorPtr(std::make_unique<BlockNestedLoopJoinExecutor>(
+          ctx, std::move(outer), std::move(inner), node->predicate(), node->block_pages()));
+    }
+    case PhysicalNodeKind::kIndexNestedLoopJoin: {
+      const auto* node = static_cast<const PhysIndexNestedLoopJoin*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(TableInfo * table, ctx->catalog()->GetTable(node->inner_table()));
+      RELOPT_ASSIGN_OR_RETURN(IndexInfo * index, ctx->catalog()->GetIndex(node->index_name()));
+      return ExecutorPtr(std::make_unique<IndexNestedLoopJoinExecutor>(
+          ctx, std::move(outer), table, index, node->inner_schema(), &node->outer_key_exprs(),
+          node->residual()));
+    }
+    case PhysicalNodeKind::kSortMergeJoin: {
+      const auto* node = static_cast<const PhysSortMergeJoin*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr left, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr right, BuildExecutor(ctx, node->child(1)));
+      return ExecutorPtr(std::make_unique<SortMergeJoinExecutor>(
+          ctx, std::move(left), std::move(right), node->left_keys(), node->right_keys(),
+          node->residual()));
+    }
+    case PhysicalNodeKind::kHashJoin: {
+      const auto* node = static_cast<const PhysHashJoin*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr build, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr probe, BuildExecutor(ctx, node->child(1)));
+      return ExecutorPtr(std::make_unique<HashJoinExecutor>(
+          ctx, std::move(build), std::move(probe), node->build_keys(), node->probe_keys(),
+          node->residual(), node->output_probe_first()));
+    }
+    case PhysicalNodeKind::kSort: {
+      const auto* node = static_cast<const PhysSort*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      std::vector<SortKeySpec> keys;
+      for (const PhysSort::Key& k : node->keys()) {
+        keys.push_back(SortKeySpec{k.expr.get(), k.desc});
+      }
+      return ExecutorPtr(
+          std::make_unique<ExternalSortExecutor>(ctx, std::move(child), std::move(keys)));
+    }
+    case PhysicalNodeKind::kAggregate: {
+      const auto* node = static_cast<const PhysAggregate*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      std::vector<const Expression*> group_exprs;
+      for (const ExprPtr& g : node->group_by()) group_exprs.push_back(g.get());
+      std::vector<AggSpecExec> aggs;
+      for (const PhysAggregate::Agg& a : node->aggs()) {
+        aggs.push_back(AggSpecExec{a.func, a.arg.get()});
+      }
+      return ExecutorPtr(std::make_unique<AggregateExecutor>(
+          ctx, node->schema(), std::move(child), std::move(group_exprs), std::move(aggs)));
+    }
+    case PhysicalNodeKind::kLimit: {
+      const auto* node = static_cast<const PhysLimit*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      return ExecutorPtr(std::make_unique<LimitExecutor>(ctx, std::move(child), node->limit()));
+    }
+    case PhysicalNodeKind::kValues: {
+      const auto* node = static_cast<const PhysValues*>(plan);
+      return ExecutorPtr(std::make_unique<ValuesExecutor>(ctx, node->schema(), &node->rows()));
+    }
+    case PhysicalNodeKind::kMaterialize: {
+      const auto* node = static_cast<const PhysMaterialize*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      return ExecutorPtr(std::make_unique<MaterializeExecutor>(ctx, std::move(child)));
+    }
+  }
+  return Status::Internal("unknown physical node kind");
+}
+
+}  // namespace relopt

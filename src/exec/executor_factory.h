@@ -1,0 +1,14 @@
+// Builds an executor tree from a physical plan.
+#pragma once
+
+#include "exec/executor.h"
+#include "plan/physical_plan.h"
+
+namespace relopt {
+
+/// \brief Instantiates executors for `plan`. The plan must outlive the
+/// executor tree: executors reference the plan's expressions and literal rows
+/// rather than copying them.
+Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan);
+
+}  // namespace relopt

@@ -1,0 +1,3 @@
+#include "exec/filter.h"
+
+// Header-only implementation; this TU anchors the target in the build.

@@ -1,0 +1,35 @@
+// Filter executor.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class FilterExecutor : public Executor {
+ public:
+  FilterExecutor(ExecContext* ctx, ExecutorPtr child, const Expression* predicate)
+      : Executor(ctx, child->schema()), child_(std::move(child)), predicate_(predicate) {}
+
+  Status Init() override {
+    ResetCounters();
+    return child_->Init();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      RELOPT_ASSIGN_OR_RETURN(bool pass, PredicatePasses(predicate_, *out));
+      if (pass) {
+        CountRow();
+        return true;
+      }
+    }
+  }
+
+ private:
+  ExecutorPtr child_;
+  const Expression* predicate_;
+};
+
+}  // namespace relopt

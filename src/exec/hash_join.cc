@@ -1,0 +1,202 @@
+#include "exec/hash_join.h"
+
+#include "types/key_codec.h"
+
+namespace relopt {
+
+HashJoinExecutor::HashJoinExecutor(ExecContext* ctx, ExecutorPtr build, ExecutorPtr probe,
+                                   std::vector<size_t> build_keys, std::vector<size_t> probe_keys,
+                                   const Expression* residual, bool output_probe_first)
+    : Executor(ctx, MakeOutputSchema(*build, *probe, output_probe_first)),
+      build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      residual_(residual),
+      output_probe_first_(output_probe_first) {}
+
+Schema HashJoinExecutor::MakeOutputSchema(const Executor& build, const Executor& probe,
+                                          bool output_probe_first) {
+  return output_probe_first ? Schema::Concat(probe.schema(), build.schema())
+                            : Schema::Concat(build.schema(), probe.schema());
+}
+
+Result<std::optional<std::string>> HashJoinExecutor::KeyOf(const Tuple& t,
+                                                           const std::vector<size_t>& keys) const {
+  std::vector<Value> vals;
+  vals.reserve(keys.size());
+  for (size_t k : keys) {
+    if (t.At(k).is_null()) return std::optional<std::string>();
+    vals.push_back(t.At(k));
+  }
+  return std::optional<std::string>(EncodeKey(vals));
+}
+
+Tuple HashJoinExecutor::MakeOutput(const Tuple& probe_row, const Tuple& build_row) const {
+  return output_probe_first_ ? Tuple::Concat(probe_row, build_row)
+                             : Tuple::Concat(build_row, probe_row);
+}
+
+Status HashJoinExecutor::Init() {
+  table_.clear();
+  matches_.clear();
+  match_idx_ = 0;
+  have_probe_ = false;
+  grace_ = false;
+  build_parts_.clear();
+  probe_parts_.clear();
+  part_probe_iter_.reset();
+  part_idx_ = 0;
+  ResetCounters();
+
+  build_cols_ = build_->schema().NumColumns();
+  probe_cols_ = probe_->schema().NumColumns();
+
+  // Drain the build side, tracking size against the memory budget.
+  RELOPT_RETURN_NOT_OK(build_->Init());
+  const size_t budget = ctx_->operator_memory_pages() * kPageSize;
+  std::vector<Tuple> build_rows;
+  size_t bytes = 0;
+  Tuple t;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, build_->Next(&t));
+    if (!has) break;
+    bytes += t.Serialize().size() + 16;
+    build_rows.push_back(std::move(t));
+  }
+
+  if (bytes <= budget) {
+    for (Tuple& row : build_rows) {
+      RELOPT_RETURN_NOT_OK(AddBuildRow(row));
+    }
+    RELOPT_RETURN_NOT_OK(probe_->Init());
+    return Status::OK();
+  }
+
+  // Grace: partition both sides to scratch heaps.
+  grace_ = true;
+  num_partitions_ = std::min<size_t>(64, bytes / budget + 2);
+  for (size_t i = 0; i < num_partitions_; ++i) {
+    RELOPT_ASSIGN_OR_RETURN(HeapFile bp, ctx_->CreateScratchHeap());
+    build_parts_.push_back(std::move(bp));
+    RELOPT_ASSIGN_OR_RETURN(HeapFile pp, ctx_->CreateScratchHeap());
+    probe_parts_.push_back(std::move(pp));
+  }
+  std::hash<std::string> hasher;
+  for (const Tuple& row : build_rows) {
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(row, build_keys_));
+    if (!key.has_value()) continue;  // NULL keys never match
+    size_t p = hasher(*key) % num_partitions_;
+    RELOPT_ASSIGN_OR_RETURN(Rid rid, build_parts_[p].Insert(row.Serialize()));
+    (void)rid;
+  }
+  build_rows.clear();
+  RELOPT_RETURN_NOT_OK(probe_->Init());
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, probe_->Next(&t));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(t, probe_keys_));
+    if (!key.has_value()) continue;
+    size_t p = hasher(*key) % num_partitions_;
+    RELOPT_ASSIGN_OR_RETURN(Rid rid, probe_parts_[p].Insert(t.Serialize()));
+    (void)rid;
+  }
+  part_idx_ = 0;
+  return LoadPartition();
+}
+
+Status HashJoinExecutor::AddBuildRow(const Tuple& t) {
+  RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(t, build_keys_));
+  if (key.has_value()) {
+    table_.emplace(std::move(*key), t);
+  }
+  return Status::OK();
+}
+
+Status HashJoinExecutor::LoadPartition() {
+  table_.clear();
+  part_probe_iter_.reset();
+  while (part_idx_ < num_partitions_) {
+    HeapFile& bp = build_parts_[part_idx_];
+    HeapFile::Iterator it(&bp);
+    Rid rid;
+    std::string bytes;
+    bool any = false;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+      if (!has) break;
+      RELOPT_ASSIGN_OR_RETURN(Tuple row, Tuple::Deserialize(bytes, build_cols_));
+      RELOPT_RETURN_NOT_OK(AddBuildRow(row));
+      any = true;
+    }
+    // Even an empty build partition must advance past its probe partition.
+    if (any || probe_parts_[part_idx_].NumPages() > 0) {
+      part_probe_iter_ = std::make_unique<HeapFile::Iterator>(&probe_parts_[part_idx_]);
+      return Status::OK();
+    }
+    table_.clear();
+    ++part_idx_;
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinExecutor::NextInMemory(Tuple* out, Executor* probe_source) {
+  while (true) {
+    while (match_idx_ < matches_.size()) {
+      Tuple combined = MakeOutput(probe_tuple_, *matches_[match_idx_++]);
+      RELOPT_ASSIGN_OR_RETURN(bool pass, PredicatePasses(residual_, combined));
+      if (pass) {
+        *out = std::move(combined);
+        CountRow();
+        return true;
+      }
+    }
+    RELOPT_ASSIGN_OR_RETURN(bool has, probe_source->Next(&probe_tuple_));
+    if (!has) return false;
+    matches_.clear();
+    match_idx_ = 0;
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(probe_tuple_, probe_keys_));
+    if (!key.has_value()) continue;
+    auto [lo, hi] = table_.equal_range(*key);
+    for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+  }
+}
+
+Result<bool> HashJoinExecutor::NextGrace(Tuple* out) {
+  while (part_idx_ < num_partitions_) {
+    // Probe from the current partition's heap.
+    while (true) {
+      while (match_idx_ < matches_.size()) {
+        Tuple combined = MakeOutput(probe_tuple_, *matches_[match_idx_++]);
+        RELOPT_ASSIGN_OR_RETURN(bool pass, PredicatePasses(residual_, combined));
+        if (pass) {
+          *out = std::move(combined);
+          CountRow();
+          return true;
+        }
+      }
+      if (!part_probe_iter_) break;
+      Rid rid;
+      std::string bytes;
+      RELOPT_ASSIGN_OR_RETURN(bool has, part_probe_iter_->Next(&rid, &bytes));
+      if (!has) break;
+      RELOPT_ASSIGN_OR_RETURN(probe_tuple_, Tuple::Deserialize(bytes, probe_cols_));
+      matches_.clear();
+      match_idx_ = 0;
+      RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(probe_tuple_, probe_keys_));
+      if (!key.has_value()) continue;
+      auto [lo, hi] = table_.equal_range(*key);
+      for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+    }
+    ++part_idx_;
+    RELOPT_RETURN_NOT_OK(LoadPartition());
+  }
+  return false;
+}
+
+Result<bool> HashJoinExecutor::Next(Tuple* out) {
+  if (grace_) return NextGrace(out);
+  return NextInMemory(out, probe_.get());
+}
+
+}  // namespace relopt

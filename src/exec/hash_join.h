@@ -1,0 +1,69 @@
+// Hash join: in-memory when the build side fits, Grace partitioning when not.
+#pragma once
+
+#include <unordered_map>
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+/// \brief Equi-join by hashing. The first child is the build side.
+///
+/// If the build side exceeds the operator memory budget, both sides are
+/// partitioned to scratch heaps by key hash (Grace hash join) and each
+/// partition pair is joined in memory — the partition writes and re-reads go
+/// through the buffer pool, so measured I/O matches the classic
+/// 3(P_build + P_probe) shape. Rows with NULL keys never match.
+class HashJoinExecutor : public Executor {
+ public:
+  HashJoinExecutor(ExecContext* ctx, ExecutorPtr build, ExecutorPtr probe,
+                   std::vector<size_t> build_keys, std::vector<size_t> probe_keys,
+                   const Expression* residual, bool output_probe_first);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  static Schema MakeOutputSchema(const Executor& build, const Executor& probe,
+                                 bool output_probe_first);
+
+  /// Builds the in-memory table from a stream of build-side tuples.
+  Status AddBuildRow(const Tuple& t);
+  /// Encoded key for a row; empty optional if any key value is NULL.
+  Result<std::optional<std::string>> KeyOf(const Tuple& t, const std::vector<size_t>& keys) const;
+
+  Result<bool> NextInMemory(Tuple* out, Executor* probe_source);
+  Result<bool> NextGrace(Tuple* out);
+
+  /// Loads partition `part_idx_`'s build rows into `table_` and opens the
+  /// probe partition iterator.
+  Status LoadPartition();
+
+  Tuple MakeOutput(const Tuple& probe_row, const Tuple& build_row) const;
+
+  ExecutorPtr build_;
+  ExecutorPtr probe_;
+  std::vector<size_t> build_keys_;
+  std::vector<size_t> probe_keys_;
+  const Expression* residual_;
+  bool output_probe_first_;
+
+  // In-memory join state.
+  std::unordered_multimap<std::string, Tuple> table_;
+  Tuple probe_tuple_;
+  std::vector<const Tuple*> matches_;
+  size_t match_idx_ = 0;
+  bool have_probe_ = false;
+
+  // Grace state.
+  bool grace_ = false;
+  size_t num_partitions_ = 0;
+  std::vector<HeapFile> build_parts_;
+  std::vector<HeapFile> probe_parts_;
+  size_t part_idx_ = 0;
+  std::unique_ptr<HeapFile::Iterator> part_probe_iter_;
+  size_t build_cols_ = 0;
+  size_t probe_cols_ = 0;
+};
+
+}  // namespace relopt

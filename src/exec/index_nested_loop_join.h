@@ -1,0 +1,40 @@
+// Index nested loop join: probe a B+tree on the inner table per outer row.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class IndexNestedLoopJoinExecutor : public Executor {
+ public:
+  /// `outer_key_exprs` (bound to the outer schema) produce the probe key;
+  /// they must align with a prefix of `index`'s key columns. `residual` is
+  /// bound to the concatenated schema.
+  IndexNestedLoopJoinExecutor(ExecContext* ctx, ExecutorPtr outer, TableInfo* inner_table,
+                              IndexInfo* index, Schema inner_schema,
+                              const std::vector<ExprPtr>* outer_key_exprs,
+                              const Expression* residual)
+      : Executor(ctx, Schema::Concat(outer->schema(), inner_schema)),
+        outer_(std::move(outer)),
+        inner_table_(inner_table),
+        index_(index),
+        outer_key_exprs_(outer_key_exprs),
+        residual_(residual) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr outer_;
+  TableInfo* inner_table_;
+  IndexInfo* index_;
+  const std::vector<ExprPtr>* outer_key_exprs_;
+  const Expression* residual_;
+
+  Tuple outer_tuple_;
+  std::vector<Rid> matches_;
+  size_t match_idx_ = 0;
+  bool have_outer_ = false;
+};
+
+}  // namespace relopt

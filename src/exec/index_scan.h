@@ -1,0 +1,33 @@
+// Index range scan: B+tree iterator + heap fetch + residual predicate.
+#pragma once
+
+#include <optional>
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class IndexScanExecutor : public Executor {
+ public:
+  /// Bounds are encoded composite key prefixes (see types/key_codec.h);
+  /// nullopt = open. `residual` (optional, bound to `schema`) is re-checked
+  /// on every fetched row.
+  IndexScanExecutor(ExecContext* ctx, Schema schema, TableInfo* table, IndexInfo* index,
+                    std::optional<std::string> lo, bool lo_inclusive,
+                    std::optional<std::string> hi, bool hi_inclusive, const Expression* residual);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  TableInfo* table_;
+  IndexInfo* index_;
+  std::optional<std::string> lo_;
+  bool lo_inclusive_;
+  std::optional<std::string> hi_;
+  bool hi_inclusive_;
+  const Expression* residual_;
+  std::optional<BTree::Iterator> iter_;
+};
+
+}  // namespace relopt

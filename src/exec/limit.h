@@ -1,0 +1,34 @@
+// Limit executor.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class LimitExecutor : public Executor {
+ public:
+  LimitExecutor(ExecContext* ctx, ExecutorPtr child, int64_t limit)
+      : Executor(ctx, child->schema()), child_(std::move(child)), limit_(limit) {}
+
+  Status Init() override {
+    emitted_ = 0;
+    ResetCounters();
+    return child_->Init();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    if (emitted_ >= limit_) return false;
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++emitted_;
+    CountRow();
+    return true;
+  }
+
+ private:
+  ExecutorPtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace relopt

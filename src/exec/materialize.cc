@@ -1,0 +1,33 @@
+#include "exec/materialize.h"
+
+namespace relopt {
+
+Status MaterializeExecutor::Init() {
+  ResetCounters();
+  if (!spool_) {
+    RELOPT_ASSIGN_OR_RETURN(HeapFile heap, ctx_->CreateScratchHeap());
+    spool_ = std::make_unique<HeapFile>(std::move(heap));
+    RELOPT_RETURN_NOT_OK(child_->Init());
+    Tuple t;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+      if (!has) break;
+      RELOPT_ASSIGN_OR_RETURN(Rid rid, spool_->Insert(t.Serialize()));
+      (void)rid;
+    }
+  }
+  iter_ = std::make_unique<HeapFile::Iterator>(spool_.get());
+  return Status::OK();
+}
+
+Result<bool> MaterializeExecutor::Next(Tuple* out) {
+  Rid rid;
+  std::string bytes;
+  RELOPT_ASSIGN_OR_RETURN(bool has, iter_->Next(&rid, &bytes));
+  if (!has) return false;
+  RELOPT_ASSIGN_OR_RETURN(*out, Tuple::Deserialize(bytes, schema_.NumColumns()));
+  CountRow();
+  return true;
+}
+
+}  // namespace relopt

@@ -1,0 +1,24 @@
+// Materialize: spool the child into a scratch heap so re-scans are cheap.
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class MaterializeExecutor : public Executor {
+ public:
+  MaterializeExecutor(ExecContext* ctx, ExecutorPtr child)
+      : Executor(ctx, child->schema()), child_(std::move(child)) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr child_;
+  std::unique_ptr<HeapFile> spool_;
+  std::unique_ptr<HeapFile::Iterator> iter_;
+};
+
+}  // namespace relopt

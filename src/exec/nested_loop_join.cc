@@ -1,0 +1,36 @@
+#include "exec/nested_loop_join.h"
+
+namespace relopt {
+
+Status NestedLoopJoinExecutor::Init() {
+  RELOPT_RETURN_NOT_OK(outer_->Init());
+  have_outer_ = false;
+  ResetCounters();
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinExecutor::Next(Tuple* out) {
+  while (true) {
+    if (!have_outer_) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_tuple_));
+      if (!has) return false;
+      RELOPT_RETURN_NOT_OK(inner_->Init());
+      have_outer_ = true;
+    }
+    Tuple inner_tuple;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, inner_->Next(&inner_tuple));
+      if (!has) break;
+      Tuple combined = Tuple::Concat(outer_tuple_, inner_tuple);
+      RELOPT_ASSIGN_OR_RETURN(bool pass, PredicatePasses(predicate_, combined));
+      if (pass) {
+        *out = std::move(combined);
+        CountRow();
+        return true;
+      }
+    }
+    have_outer_ = false;
+  }
+}
+
+}  // namespace relopt

@@ -1,0 +1,31 @@
+// Tuple-at-a-time nested loop join (the 1977 baseline join method).
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+/// For every outer row, re-initializes and scans the whole inner input. The
+/// inner child's re-scan really re-reads pages, so measured I/O matches the
+/// classic N_outer * P_inner cost shape.
+class NestedLoopJoinExecutor : public Executor {
+ public:
+  NestedLoopJoinExecutor(ExecContext* ctx, ExecutorPtr outer, ExecutorPtr inner,
+                         const Expression* predicate)
+      : Executor(ctx, Schema::Concat(outer->schema(), inner->schema())),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        predicate_(predicate) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  ExecutorPtr outer_;
+  ExecutorPtr inner_;
+  const Expression* predicate_;
+  Tuple outer_tuple_;
+  bool have_outer_ = false;
+};
+
+}  // namespace relopt

@@ -1,0 +1,39 @@
+// Projection executor: evaluates output expressions per row.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class ProjectExecutor : public Executor {
+ public:
+  ProjectExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
+                  const std::vector<ExprPtr>* exprs)
+      : Executor(ctx, std::move(out_schema)), child_(std::move(child)), exprs_(exprs) {}
+
+  Status Init() override {
+    ResetCounters();
+    return child_->Init();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    Tuple in;
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+    if (!has) return false;
+    std::vector<Value> values;
+    values.reserve(exprs_->size());
+    for (const ExprPtr& e : *exprs_) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, e->Eval(in));
+      values.push_back(std::move(v));
+    }
+    *out = Tuple(std::move(values));
+    CountRow();
+    return true;
+  }
+
+ private:
+  ExecutorPtr child_;
+  const std::vector<ExprPtr>* exprs_;
+};
+
+}  // namespace relopt

@@ -1,0 +1,24 @@
+#include "exec/seq_scan.h"
+
+namespace relopt {
+
+SeqScanExecutor::SeqScanExecutor(ExecContext* ctx, Schema schema, TableInfo* table)
+    : Executor(ctx, std::move(schema)), table_(table), iter_(table->heap()) {}
+
+Status SeqScanExecutor::Init() {
+  iter_.Reset();
+  ResetCounters();
+  return Status::OK();
+}
+
+Result<bool> SeqScanExecutor::Next(Tuple* out) {
+  Rid rid;
+  std::string bytes;
+  RELOPT_ASSIGN_OR_RETURN(bool has, iter_.Next(&rid, &bytes));
+  if (!has) return false;
+  RELOPT_ASSIGN_OR_RETURN(*out, Tuple::Deserialize(bytes, schema_.NumColumns()));
+  CountRow();
+  return true;
+}
+
+}  // namespace relopt

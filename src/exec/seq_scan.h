@@ -1,0 +1,21 @@
+// Sequential scan over a base table's heap.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class SeqScanExecutor : public Executor {
+ public:
+  /// `schema` is the alias-qualified output schema.
+  SeqScanExecutor(ExecContext* ctx, Schema schema, TableInfo* table);
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  TableInfo* table_;
+  HeapFile::Iterator iter_;
+};
+
+}  // namespace relopt

@@ -1,0 +1,55 @@
+// Sort-merge join over already-sorted inputs.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+/// Merges two inputs sorted ascending on their join keys. Rows with NULL
+/// join keys never match (SQL equi-join) and are skipped. Duplicate key
+/// groups on the right side are buffered in memory (standard SMJ; group size
+/// is bounded by the key's duplication, not the input size).
+class SortMergeJoinExecutor : public Executor {
+ public:
+  SortMergeJoinExecutor(ExecContext* ctx, ExecutorPtr left, ExecutorPtr right,
+                        std::vector<size_t> left_keys, std::vector<size_t> right_keys,
+                        const Expression* residual)
+      : Executor(ctx, Schema::Concat(left->schema(), right->schema())),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(residual) {}
+
+  Status Init() override;
+  Result<bool> Next(Tuple* out) override;
+
+ private:
+  Result<bool> AdvanceLeft();
+  Result<bool> AdvanceRight();
+  /// True if any key column of `t` at `keys` is NULL.
+  static bool HasNullKey(const Tuple& t, const std::vector<size_t>& keys);
+  /// Compares current left vs right tuples on the join keys.
+  Result<int> CompareKeys(const Tuple& l, const Tuple& r) const;
+
+  ExecutorPtr left_;
+  ExecutorPtr right_;
+  std::vector<size_t> left_keys_;
+  std::vector<size_t> right_keys_;
+  const Expression* residual_;
+
+  Tuple left_tuple_;
+  Tuple right_tuple_;
+  bool have_left_ = false;
+  bool have_right_ = false;
+  bool right_done_ = false;
+
+  // Current equal-key group from the right side, replayed per matching left
+  // row.
+  std::vector<Tuple> group_;
+  std::vector<Value> group_key_;
+  size_t group_idx_ = 0;
+  bool emitting_ = false;
+};
+
+}  // namespace relopt

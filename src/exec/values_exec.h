@@ -1,0 +1,31 @@
+// Values executor: emits literal rows.
+#pragma once
+
+#include "exec/executor.h"
+
+namespace relopt {
+
+class ValuesExecutor : public Executor {
+ public:
+  ValuesExecutor(ExecContext* ctx, Schema schema, const std::vector<Tuple>* rows)
+      : Executor(ctx, std::move(schema)), rows_(rows) {}
+
+  Status Init() override {
+    pos_ = 0;
+    ResetCounters();
+    return Status::OK();
+  }
+
+  Result<bool> Next(Tuple* out) override {
+    if (pos_ >= rows_->size()) return false;
+    *out = (*rows_)[pos_++];
+    CountRow();
+    return true;
+  }
+
+ private:
+  const std::vector<Tuple>* rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace relopt

@@ -1,0 +1,30 @@
+// Binder: resolves a parsed SELECT against the catalog into a logical plan.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+#include "plan/logical_plan.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// \brief Turns a SelectStmt into a bound LogicalNode tree:
+///
+///   Scan/CrossJoin chain -> Filter(WHERE) -> Aggregate -> Filter(HAVING)
+///     -> Sort(ORDER BY) -> Project(select list) -> Limit
+///
+/// Aggregate calls in the select list / HAVING / ORDER BY are lifted into the
+/// Aggregate node and replaced by references to its output columns; ORDER BY
+/// may reference select-list aliases (substituted by definition).
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Consumes the statement's expressions.
+  Result<LogicalPtr> BindSelect(SelectStmt* stmt);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace relopt

@@ -1,0 +1,64 @@
+#include "expr/conjuncts.h"
+
+namespace relopt {
+
+std::vector<ExprPtr> SplitConjuncts(ExprPtr expr) {
+  std::vector<ExprPtr> out;
+  if (!expr) return out;
+  if (expr->kind() == ExprKind::kLogical) {
+    auto* logical = static_cast<LogicalExpr*>(expr.get());
+    if (logical->op() == LogicalOp::kAnd) {
+      std::vector<ExprPtr> children = logical->TakeChildren();
+      for (ExprPtr& child : children) {
+        std::vector<ExprPtr> sub = SplitConjuncts(std::move(child));
+        for (ExprPtr& s : sub) out.push_back(std::move(s));
+      }
+      return out;
+    }
+  }
+  out.push_back(std::move(expr));
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  if (conjuncts.size() == 1) return std::move(conjuncts[0]);
+  return std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(conjuncts));
+}
+
+std::optional<SargablePred> MatchSargable(const Expression& expr) {
+  if (expr.kind() != ExprKind::kComparison) return std::nullopt;
+  const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+  const Expression* l = cmp.left();
+  const Expression* r = cmp.right();
+  CompareOp op = cmp.op();
+  if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
+    std::swap(l, r);
+    op = SwapCompareOp(op);
+  }
+  if (l->kind() != ExprKind::kColumnRef || r->kind() != ExprKind::kLiteral) {
+    return std::nullopt;
+  }
+  const auto* col = static_cast<const ColumnRefExpr*>(l);
+  const auto* lit = static_cast<const LiteralExpr*>(r);
+  if (lit->value().is_null()) return std::nullopt;  // col op NULL never matches
+  return SargablePred{col->table(), col->name(), op, lit->value()};
+}
+
+std::optional<EquiJoinPred> MatchEquiJoin(const Expression& expr) {
+  if (expr.kind() != ExprKind::kComparison) return std::nullopt;
+  const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+  if (cmp.op() != CompareOp::kEq) return std::nullopt;
+  if (cmp.left()->kind() != ExprKind::kColumnRef ||
+      cmp.right()->kind() != ExprKind::kColumnRef) {
+    return std::nullopt;
+  }
+  const auto* l = static_cast<const ColumnRefExpr*>(cmp.left());
+  const auto* r = static_cast<const ColumnRefExpr*>(cmp.right());
+  if (l->table().empty() || r->table().empty() || l->table() == r->table()) {
+    return std::nullopt;
+  }
+  return EquiJoinPred{l->table(), l->name(), r->table(), r->name()};
+}
+
+}  // namespace relopt

@@ -1,0 +1,42 @@
+// Conjunct utilities and predicate pattern-matching used by the optimizer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "expr/expression.h"
+
+namespace relopt {
+
+/// Flattens nested ANDs into a list of conjuncts (consumes `expr`).
+std::vector<ExprPtr> SplitConjuncts(ExprPtr expr);
+
+/// ANDs conjuncts back together; returns nullptr for an empty list.
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// A sargable single-table predicate: `column <op> constant`.
+struct SargablePred {
+  std::string table;    ///< qualifier of the column
+  std::string column;   ///< column name
+  CompareOp op;
+  Value constant;
+};
+
+/// Matches `col op literal` or `literal op col` (op swapped accordingly).
+/// The column side must be a bare column reference and the other side a
+/// literal. Returns nullopt otherwise.
+std::optional<SargablePred> MatchSargable(const Expression& expr);
+
+/// An equi-join predicate: `left_col = right_col` across two different
+/// qualifiers.
+struct EquiJoinPred {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// Matches `t1.a = t2.b` with distinct qualifiers.
+std::optional<EquiJoinPred> MatchEquiJoin(const Expression& expr);
+
+}  // namespace relopt

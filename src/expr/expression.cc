@@ -1,0 +1,483 @@
+#include "expr/expression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace relopt {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "count(*)";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+CompareOp SwapCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+std::set<std::string> Expression::ReferencedTables() const {
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefs(&refs);
+  std::set<std::string> tables;
+  for (const ColumnRefExpr* ref : refs) tables.insert(ref->table());
+  return tables;
+}
+
+bool Expression::ContainsAggregate() const {
+  if (kind_ == ExprKind::kAggregateCall) return true;
+  // Walk via column-ref collection? Aggregates have no dedicated walker;
+  // handle per-kind below.
+  switch (kind_) {
+    case ExprKind::kComparison: {
+      auto* e = static_cast<const ComparisonExpr*>(this);
+      return e->left()->ContainsAggregate() || e->right()->ContainsAggregate();
+    }
+    case ExprKind::kLogical: {
+      auto* e = static_cast<const LogicalExpr*>(this);
+      for (const ExprPtr& c : e->children()) {
+        if (c->ContainsAggregate()) return true;
+      }
+      return false;
+    }
+    case ExprKind::kArithmetic: {
+      auto* e = static_cast<const ArithmeticExpr*>(this);
+      return e->left()->ContainsAggregate() || e->right()->ContainsAggregate();
+    }
+    case ExprKind::kIsNull: {
+      auto* e = static_cast<const IsNullExpr*>(this);
+      return e->child()->ContainsAggregate();
+    }
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------- Literal --
+
+Result<Value> LiteralExpr::Eval(const Tuple&) const { return value_; }
+Status LiteralExpr::Bind(const Schema&) {
+  result_type_ = value_.type();
+  return Status::OK();
+}
+ExprPtr LiteralExpr::Clone() const { return std::make_unique<LiteralExpr>(value_); }
+std::string LiteralExpr::ToString() const { return value_.ToString(); }
+void LiteralExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>*) const {}
+void LiteralExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>*) {}
+
+// -------------------------------------------------------------- ColumnRef --
+
+Result<Value> ColumnRefExpr::Eval(const Tuple& tuple) const {
+  if (bound_index_ < 0) {
+    return Status::Internal("evaluating unbound column reference " + ToString());
+  }
+  if (static_cast<size_t>(bound_index_) >= tuple.NumValues()) {
+    return Status::Internal("column reference " + ToString() + " out of range");
+  }
+  return tuple.At(static_cast<size_t>(bound_index_));
+}
+
+Status ColumnRefExpr::Bind(const Schema& schema) {
+  RELOPT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(table_, name_));
+  bound_index_ = static_cast<int>(idx);
+  result_type_ = schema.ColumnAt(idx).type;
+  // Backfill the qualifier for unqualified references so downstream
+  // consumers (selectivity estimation, join-edge detection, EXPLAIN) see the
+  // resolved relation.
+  if (table_.empty()) table_ = schema.ColumnAt(idx).table;
+  return Status::OK();
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  auto c = std::make_unique<ColumnRefExpr>(table_, name_);
+  c->bound_index_ = bound_index_;
+  c->result_type_ = result_type_;
+  return c;
+}
+
+std::string ColumnRefExpr::ToString() const {
+  return table_.empty() ? name_ : table_ + "." + name_;
+}
+
+void ColumnRefExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  out->push_back(this);
+}
+void ColumnRefExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  out->push_back(this);
+}
+
+// ------------------------------------------------------------- Comparison --
+
+Result<Value> ComparisonExpr::Eval(const Tuple& tuple) const {
+  RELOPT_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple));
+  RELOPT_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple));
+  if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+  RELOPT_ASSIGN_OR_RETURN(int c, l.Compare(r));
+  switch (op_) {
+    case CompareOp::kEq:
+      return Value::Bool(c == 0);
+    case CompareOp::kNe:
+      return Value::Bool(c != 0);
+    case CompareOp::kLt:
+      return Value::Bool(c < 0);
+    case CompareOp::kLe:
+      return Value::Bool(c <= 0);
+    case CompareOp::kGt:
+      return Value::Bool(c > 0);
+    case CompareOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Status::Internal("bad compare op");
+}
+
+Status ComparisonExpr::Bind(const Schema& schema) {
+  RELOPT_RETURN_NOT_OK(left_->Bind(schema));
+  RELOPT_RETURN_NOT_OK(right_->Bind(schema));
+  if (!AreComparable(left_->result_type(), right_->result_type())) {
+    return Status::TypeError("cannot compare " + left_->ToString() + " (" +
+                             TypeIdToString(left_->result_type()) + ") with " +
+                             right_->ToString() + " (" + TypeIdToString(right_->result_type()) +
+                             ")");
+  }
+  result_type_ = TypeId::kBool;
+  return Status::OK();
+}
+
+ExprPtr ComparisonExpr::Clone() const {
+  auto c = std::make_unique<ComparisonExpr>(op_, left_->Clone(), right_->Clone());
+  c->result_type_ = result_type_;
+  return c;
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left_->ToString() + " " + CompareOpToString(op_) + " " + right_->ToString() + ")";
+}
+
+void ComparisonExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  left_->CollectColumnRefs(out);
+  right_->CollectColumnRefs(out);
+}
+void ComparisonExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  left_->CollectColumnRefsMutable(out);
+  right_->CollectColumnRefsMutable(out);
+}
+
+// ---------------------------------------------------------------- Logical --
+
+Result<Value> LogicalExpr::Eval(const Tuple& tuple) const {
+  if (op_ == LogicalOp::kNot) {
+    RELOPT_ASSIGN_OR_RETURN(Value v, children_[0]->Eval(tuple));
+    if (v.is_null()) return Value::Null(TypeId::kBool);
+    return Value::Bool(!v.AsBool());
+  }
+  // Three-valued AND/OR with short-circuit where sound.
+  bool saw_null = false;
+  for (const ExprPtr& child : children_) {
+    RELOPT_ASSIGN_OR_RETURN(Value v, child->Eval(tuple));
+    if (v.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    bool b = v.AsBool();
+    if (op_ == LogicalOp::kAnd && !b) return Value::Bool(false);
+    if (op_ == LogicalOp::kOr && b) return Value::Bool(true);
+  }
+  if (saw_null) return Value::Null(TypeId::kBool);
+  return Value::Bool(op_ == LogicalOp::kAnd);
+}
+
+Status LogicalExpr::Bind(const Schema& schema) {
+  for (ExprPtr& child : children_) {
+    RELOPT_RETURN_NOT_OK(child->Bind(schema));
+    if (child->result_type() != TypeId::kBool) {
+      return Status::TypeError("logical operand " + child->ToString() + " is not boolean");
+    }
+  }
+  result_type_ = TypeId::kBool;
+  return Status::OK();
+}
+
+ExprPtr LogicalExpr::Clone() const {
+  std::vector<ExprPtr> kids;
+  kids.reserve(children_.size());
+  for (const ExprPtr& c : children_) kids.push_back(c->Clone());
+  auto e = std::make_unique<LogicalExpr>(op_, std::move(kids));
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string LogicalExpr::ToString() const {
+  if (op_ == LogicalOp::kNot) return "(NOT " + children_[0]->ToString() + ")";
+  const char* sep = op_ == LogicalOp::kAnd ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+void LogicalExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  for (const ExprPtr& c : children_) c->CollectColumnRefs(out);
+}
+void LogicalExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  for (ExprPtr& c : children_) c->CollectColumnRefsMutable(out);
+}
+
+// ------------------------------------------------------------- Arithmetic --
+
+Result<Value> ArithmeticExpr::Eval(const Tuple& tuple) const {
+  RELOPT_ASSIGN_OR_RETURN(Value l, left_->Eval(tuple));
+  RELOPT_ASSIGN_OR_RETURN(Value r, right_->Eval(tuple));
+  if (l.is_null() || r.is_null()) return Value::Null(result_type_);
+  if (!IsNumeric(l.type()) || !IsNumeric(r.type())) {
+    return Status::TypeError("arithmetic on non-numeric operand in " + ToString());
+  }
+  bool as_int = l.type() == TypeId::kInt64 && r.type() == TypeId::kInt64;
+  if (as_int) {
+    int64_t a = l.AsInt(), b = r.AsInt();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::Int(a + b);
+      case ArithOp::kSub:
+        return Value::Int(a - b);
+      case ArithOp::kMul:
+        return Value::Int(a * b);
+      case ArithOp::kDiv:
+        if (b == 0) return Value::Null(TypeId::kInt64);
+        return Value::Int(a / b);
+      case ArithOp::kMod:
+        if (b == 0) return Value::Null(TypeId::kInt64);
+        return Value::Int(a % b);
+    }
+  }
+  double a = l.NumericAsDouble(), b = r.NumericAsDouble();
+  switch (op_) {
+    case ArithOp::kAdd:
+      return Value::Double(a + b);
+    case ArithOp::kSub:
+      return Value::Double(a - b);
+    case ArithOp::kMul:
+      return Value::Double(a * b);
+    case ArithOp::kDiv:
+      if (b == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(a / b);
+    case ArithOp::kMod:
+      if (b == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(std::fmod(a, b));
+  }
+  return Status::Internal("bad arithmetic op");
+}
+
+Status ArithmeticExpr::Bind(const Schema& schema) {
+  RELOPT_RETURN_NOT_OK(left_->Bind(schema));
+  RELOPT_RETURN_NOT_OK(right_->Bind(schema));
+  if (!IsNumeric(left_->result_type()) || !IsNumeric(right_->result_type())) {
+    return Status::TypeError("arithmetic needs numeric operands in " + ToString());
+  }
+  result_type_ = (left_->result_type() == TypeId::kInt64 &&
+                  right_->result_type() == TypeId::kInt64)
+                     ? TypeId::kInt64
+                     : TypeId::kDouble;
+  return Status::OK();
+}
+
+ExprPtr ArithmeticExpr::Clone() const {
+  auto e = std::make_unique<ArithmeticExpr>(op_, left_->Clone(), right_->Clone());
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string ArithmeticExpr::ToString() const {
+  return "(" + left_->ToString() + " " + ArithOpToString(op_) + " " + right_->ToString() + ")";
+}
+
+void ArithmeticExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  left_->CollectColumnRefs(out);
+  right_->CollectColumnRefs(out);
+}
+void ArithmeticExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  left_->CollectColumnRefsMutable(out);
+  right_->CollectColumnRefsMutable(out);
+}
+
+// ----------------------------------------------------------------- IsNull --
+
+Result<Value> IsNullExpr::Eval(const Tuple& tuple) const {
+  RELOPT_ASSIGN_OR_RETURN(Value v, child_->Eval(tuple));
+  bool is_null = v.is_null();
+  return Value::Bool(negated_ ? !is_null : is_null);
+}
+
+Status IsNullExpr::Bind(const Schema& schema) {
+  RELOPT_RETURN_NOT_OK(child_->Bind(schema));
+  result_type_ = TypeId::kBool;
+  return Status::OK();
+}
+
+ExprPtr IsNullExpr::Clone() const {
+  auto e = std::make_unique<IsNullExpr>(child_->Clone(), negated_);
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string IsNullExpr::ToString() const {
+  return "(" + child_->ToString() + (negated_ ? " IS NOT NULL)" : " IS NULL)");
+}
+
+void IsNullExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  child_->CollectColumnRefs(out);
+}
+void IsNullExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  child_->CollectColumnRefsMutable(out);
+}
+
+// ---------------------------------------------------------- AggregateCall --
+
+Result<Value> AggregateCallExpr::Eval(const Tuple&) const {
+  return Status::Internal("aggregate call " + ToString() +
+                          " evaluated directly (binder should have lifted it)");
+}
+
+Status AggregateCallExpr::Bind(const Schema& schema) {
+  if (arg_) {
+    RELOPT_RETURN_NOT_OK(arg_->Bind(schema));
+  }
+  switch (func_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      result_type_ = TypeId::kInt64;
+      break;
+    case AggFunc::kAvg:
+      result_type_ = TypeId::kDouble;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      result_type_ = arg_ ? arg_->result_type() : TypeId::kInt64;
+      break;
+  }
+  return Status::OK();
+}
+
+ExprPtr AggregateCallExpr::Clone() const {
+  auto e = std::make_unique<AggregateCallExpr>(func_, arg_ ? arg_->Clone() : nullptr);
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string AggregateCallExpr::ToString() const {
+  if (func_ == AggFunc::kCountStar) return "count(*)";
+  return std::string(AggFuncToString(func_)) + "(" + (arg_ ? arg_->ToString() : "*") + ")";
+}
+
+void AggregateCallExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  if (arg_) arg_->CollectColumnRefs(out);
+}
+void AggregateCallExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  if (arg_) arg_->CollectColumnRefsMutable(out);
+}
+
+// ---------------------------------------------------------------- Helpers --
+
+ExprPtr MakeLiteral(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+ExprPtr MakeColumnRef(std::string table, std::string name) {
+  return std::make_unique<ColumnRefExpr>(std::move(table), std::move(name));
+}
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right) {
+  return std::make_unique<ComparisonExpr>(op, std::move(left), std::move(right));
+}
+ExprPtr MakeAnd(ExprPtr left, ExprPtr right) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(left));
+  kids.push_back(std::move(right));
+  return std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(kids));
+}
+ExprPtr MakeOr(ExprPtr left, ExprPtr right) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(left));
+  kids.push_back(std::move(right));
+  return std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(kids));
+}
+ExprPtr MakeNot(ExprPtr child) {
+  std::vector<ExprPtr> kids;
+  kids.push_back(std::move(child));
+  return std::make_unique<LogicalExpr>(LogicalOp::kNot, std::move(kids));
+}
+
+}  // namespace relopt

@@ -1,0 +1,269 @@
+// Expression trees: literals, column references, comparisons, arithmetic,
+// boolean logic, IS NULL, and aggregate calls.
+//
+// Column references carry their source names (qualifier + column) and are
+// *bound* against a concrete Schema before evaluation; rebinding against a
+// different schema is how the rewriter moves predicates around the plan.
+// Evaluation follows SQL three-valued logic.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace relopt {
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kComparison,
+  kLogical,
+  kArithmetic,
+  kIsNull,
+  kAggregateCall,
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp { kAnd, kOr, kNot };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+enum class AggFunc { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+
+const char* CompareOpToString(CompareOp op);
+const char* ArithOpToString(ArithOp op);
+const char* AggFuncToString(AggFunc f);
+
+/// Flips a comparison for operand swap: a < b  <=>  b > a.
+CompareOp SwapCompareOp(CompareOp op);
+/// Logical negation: NOT (a < b)  <=>  a >= b.
+CompareOp NegateCompareOp(CompareOp op);
+
+class ColumnRefExpr;
+
+/// \brief Abstract expression node.
+class Expression {
+ public:
+  explicit Expression(ExprKind kind) : kind_(kind) {}
+  virtual ~Expression() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Evaluates against one input row. Must be bound first.
+  virtual Result<Value> Eval(const Tuple& tuple) const = 0;
+
+  /// Resolves column references against `schema` and computes result types.
+  virtual Status Bind(const Schema& schema) = 0;
+
+  /// Deep copy (bound state included).
+  virtual std::unique_ptr<Expression> Clone() const = 0;
+
+  /// SQL-ish rendering for EXPLAIN.
+  virtual std::string ToString() const = 0;
+
+  /// Result type; valid after a successful Bind.
+  TypeId result_type() const { return result_type_; }
+
+  /// Appends every column reference in the tree (pre-order).
+  virtual void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const = 0;
+  virtual void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) = 0;
+
+  /// Qualifiers (table names/aliases) referenced by this expression.
+  std::set<std::string> ReferencedTables() const;
+
+  /// True if the tree contains an aggregate call.
+  bool ContainsAggregate() const;
+
+ protected:
+  ExprKind kind_;
+  TypeId result_type_ = TypeId::kBool;
+};
+
+using ExprPtr = std::unique_ptr<Expression>;
+
+/// Constant value.
+class LiteralExpr : public Expression {
+ public:
+  explicit LiteralExpr(Value value) : Expression(ExprKind::kLiteral), value_(std::move(value)) {
+    result_type_ = value_.type();
+  }
+
+  const Value& value() const { return value_; }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  Value value_;
+};
+
+/// Reference to a column, by (qualifier, name); bound to a position.
+class ColumnRefExpr : public Expression {
+ public:
+  ColumnRefExpr(std::string table, std::string name)
+      : Expression(ExprKind::kColumnRef), table_(std::move(table)), name_(std::move(name)) {}
+
+  const std::string& table() const { return table_; }
+  const std::string& name() const { return name_; }
+  int bound_index() const { return bound_index_; }
+  bool IsBound() const { return bound_index_ >= 0; }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  std::string table_;
+  std::string name_;
+  int bound_index_ = -1;
+};
+
+/// Binary comparison with SQL NULL semantics (NULL operand -> NULL).
+class ComparisonExpr : public Expression {
+ public:
+  ComparisonExpr(CompareOp op, ExprPtr left, ExprPtr right)
+      : Expression(ExprKind::kComparison),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  CompareOp op() const { return op_; }
+  const Expression* left() const { return left_.get(); }
+  const Expression* right() const { return right_.get(); }
+  ExprPtr TakeLeft() { return std::move(left_); }
+  ExprPtr TakeRight() { return std::move(right_); }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  CompareOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// AND / OR / NOT with three-valued logic.
+class LogicalExpr : public Expression {
+ public:
+  /// NOT takes one child; AND/OR take two.
+  LogicalExpr(LogicalOp op, std::vector<ExprPtr> children)
+      : Expression(ExprKind::kLogical), op_(op), children_(std::move(children)) {
+    result_type_ = TypeId::kBool;
+  }
+
+  LogicalOp op() const { return op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  std::vector<ExprPtr> TakeChildren() { return std::move(children_); }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  LogicalOp op_;
+  std::vector<ExprPtr> children_;
+};
+
+/// +, -, *, /, % over numerics (NULL operand -> NULL; x/0 -> NULL, the
+/// engine's documented divide-by-zero behaviour).
+class ArithmeticExpr : public Expression {
+ public:
+  ArithmeticExpr(ArithOp op, ExprPtr left, ExprPtr right)
+      : Expression(ExprKind::kArithmetic),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  ArithOp op() const { return op_; }
+  const Expression* left() const { return left_.get(); }
+  const Expression* right() const { return right_.get(); }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  ArithOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// IS [NOT] NULL.
+class IsNullExpr : public Expression {
+ public:
+  IsNullExpr(ExprPtr child, bool negated)
+      : Expression(ExprKind::kIsNull), child_(std::move(child)), negated_(negated) {
+    result_type_ = TypeId::kBool;
+  }
+
+  const Expression* child() const { return child_.get(); }
+  bool negated() const { return negated_; }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  ExprPtr child_;
+  bool negated_;
+};
+
+/// Aggregate invocation (COUNT/SUM/MIN/MAX/AVG). Never evaluated directly:
+/// the binder lifts these into an Aggregate plan node and replaces them with
+/// column references; Eval on a surviving node is an Internal error.
+class AggregateCallExpr : public Expression {
+ public:
+  AggregateCallExpr(AggFunc func, ExprPtr arg)
+      : Expression(ExprKind::kAggregateCall), func_(func), arg_(std::move(arg)) {}
+
+  AggFunc func() const { return func_; }
+  const Expression* arg() const { return arg_.get(); }  // null for COUNT(*)
+  ExprPtr TakeArg() { return std::move(arg_); }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  AggFunc func_;
+  ExprPtr arg_;
+};
+
+/// Convenience constructors.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string name);
+ExprPtr MakeComparison(CompareOp op, ExprPtr left, ExprPtr right);
+ExprPtr MakeAnd(ExprPtr left, ExprPtr right);
+ExprPtr MakeOr(ExprPtr left, ExprPtr right);
+ExprPtr MakeNot(ExprPtr child);
+
+}  // namespace relopt

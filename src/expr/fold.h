@@ -1,0 +1,17 @@
+// Constant folding and boolean simplification.
+#pragma once
+
+#include "expr/expression.h"
+
+namespace relopt {
+
+/// \brief Folds constant subtrees and simplifies trivial boolean structure.
+///
+/// Rules: any operator whose operands are all literals is evaluated once;
+/// `x AND false -> false`, `x AND true -> x`, `x OR true -> true`,
+/// `x OR false -> x`, `NOT literal -> literal`. Folding never changes SQL
+/// NULL semantics (NULL literals fold like any other value). The input need
+/// not be bound.
+ExprPtr FoldConstants(ExprPtr expr);
+
+}  // namespace relopt

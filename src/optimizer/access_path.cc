@@ -1,0 +1,194 @@
+#include "optimizer/access_path.h"
+
+#include <algorithm>
+
+#include "expr/conjuncts.h"
+#include "util/str_util.h"
+
+namespace relopt {
+
+std::string AccessPath::ToString(const QueryGraph& graph) const {
+  const BaseRelation& rel = graph.relations[rel_index];
+  std::string out = index == nullptr ? "SeqScan(" + rel.alias + ")"
+                                     : "IndexScan(" + rel.alias + " via " + index->name + ")";
+  out += StringPrintf(" rows=%.1f io=%.1f cpu=%.0f", out_rows, cost.page_ios, cost.cpu_tuples);
+  if (!order.empty()) out += " order=" + OrderSpecToString(order);
+  return out;
+}
+
+namespace {
+
+/// Cached table-level numbers used by every path of a relation.
+struct RelStats {
+  double rows;
+  double pages;
+};
+
+RelStats StatsOf(const BaseRelation& rel) {
+  RelStats s;
+  if (rel.table->has_stats()) {
+    s.rows = static_cast<double>(rel.table->stats().num_rows);
+    s.pages = static_cast<double>(rel.table->stats().num_pages);
+  } else {
+    // Without ANALYZE, fall back to physical facts the system always knows.
+    s.rows = static_cast<double>(rel.table->live_rows());
+    s.pages = static_cast<double>(rel.table->heap()->NumPages());
+  }
+  s.rows = std::max(s.rows, 1.0);
+  s.pages = std::max(s.pages, 1.0);
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, int rel_index,
+                                                     const SelectivityEstimator& estimator,
+                                                     const CostModel& cost_model,
+                                                     bool enable_index_scans) {
+  const BaseRelation& rel = graph.relations[rel_index];
+  RelStats table = StatsOf(rel);
+
+  // Selectivity of every conjunct (shared across paths).
+  std::vector<double> conj_sel;
+  double total_sel = 1.0;
+  for (const ExprPtr& c : rel.conjuncts) {
+    double s = estimator.EstimatePredicate(*c);
+    conj_sel.push_back(s);
+    total_sel *= s;
+  }
+  double out_rows = std::max(table.rows * total_sel, 0.0);
+
+  std::vector<AccessPath> paths;
+
+  // --- Sequential scan (always available). -------------------------------
+  {
+    AccessPath p;
+    p.rel_index = rel_index;
+    p.out_rows = out_rows;
+    p.cost = cost_model.SeqScan(table.rows, table.pages);
+    paths.push_back(std::move(p));
+  }
+  if (!enable_index_scans) return paths;
+
+  // --- One bounded path per index. ----------------------------------------
+  for (IndexInfo* index : rel.table->indexes()) {
+    AccessPath p;
+    p.rel_index = rel_index;
+    p.index = index;
+
+    // Match leading equalities, then one range.
+    double bounded_sel = 1.0;
+    std::vector<bool> used(rel.conjuncts.size(), false);
+    bool open = true;  // still extending the equality prefix
+    for (size_t key_pos = 0; key_pos < index->key_columns.size() && open; ++key_pos) {
+      const std::string& key_col = rel.table->schema().ColumnAt(index->key_columns[key_pos]).name;
+      // Equality on this key column?
+      bool matched_eq = false;
+      for (size_t ci = 0; ci < rel.conjuncts.size(); ++ci) {
+        if (used[ci]) continue;
+        std::optional<SargablePred> sarg = MatchSargable(*rel.conjuncts[ci]);
+        if (!sarg.has_value() || !EqualsIgnoreCase(sarg->column, key_col)) continue;
+        if (sarg->op == CompareOp::kEq) {
+          p.lo_values.push_back(sarg->constant);
+          p.hi_values.push_back(sarg->constant);
+          used[ci] = true;
+          p.consumed.push_back(ci);
+          bounded_sel *= conj_sel[ci];
+          matched_eq = true;
+          break;
+        }
+      }
+      if (matched_eq) continue;
+      // Range bounds on this key column terminate the prefix.
+      open = false;
+      Value lo_v, hi_v;
+      bool have_lo = false, have_hi = false;
+      for (size_t ci = 0; ci < rel.conjuncts.size(); ++ci) {
+        if (used[ci]) continue;
+        std::optional<SargablePred> sarg = MatchSargable(*rel.conjuncts[ci]);
+        if (!sarg.has_value() || !EqualsIgnoreCase(sarg->column, key_col)) continue;
+        if ((sarg->op == CompareOp::kGt || sarg->op == CompareOp::kGe) && !have_lo) {
+          lo_v = sarg->constant;
+          p.lo_inclusive = sarg->op == CompareOp::kGe;
+          have_lo = true;
+          used[ci] = true;
+          p.consumed.push_back(ci);
+          bounded_sel *= conj_sel[ci];
+        } else if ((sarg->op == CompareOp::kLt || sarg->op == CompareOp::kLe) && !have_hi) {
+          hi_v = sarg->constant;
+          p.hi_inclusive = sarg->op == CompareOp::kLe;
+          have_hi = true;
+          used[ci] = true;
+          p.consumed.push_back(ci);
+          bounded_sel *= conj_sel[ci];
+        }
+      }
+      if (have_lo) p.lo_values.push_back(lo_v);
+      if (have_hi) p.hi_values.push_back(hi_v);
+    }
+
+    // Output order = index key columns, ascending.
+    for (size_t kc : index->key_columns) {
+      p.order.push_back(OrderColumn{rel.alias, rel.table->schema().ColumnAt(kc).name, false});
+    }
+
+    bool has_bounds = !p.lo_values.empty() || !p.hi_values.empty();
+    if (!has_bounds && p.order.empty()) continue;
+
+    double matching = std::max(1.0, table.rows * bounded_sel);
+    Result<int> height = index->tree->Height();
+    Result<size_t> leaves = index->tree->NumLeafPages();
+    if (!height.ok() || !leaves.ok()) continue;
+    p.cost = cost_model.IndexScan(matching, bounded_sel, table.rows, table.pages, *height,
+                                  static_cast<double>(*leaves), index->clustered);
+    // Residual predicate CPU for non-consumed conjuncts.
+    if (p.consumed.size() < rel.conjuncts.size()) {
+      p.cost += cost_model.Filter(matching);
+    }
+    p.out_rows = out_rows;
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+Result<PhysicalPtr> BuildAccessPathPlan(const QueryGraph& graph, const AccessPath& path) {
+  const BaseRelation& rel = graph.relations[path.rel_index];
+
+  // Residual: every conjunct not consumed as an index bound.
+  std::vector<ExprPtr> residual;
+  for (size_t ci = 0; ci < rel.conjuncts.size(); ++ci) {
+    if (std::find(path.consumed.begin(), path.consumed.end(), ci) != path.consumed.end()) {
+      continue;
+    }
+    residual.push_back(rel.conjuncts[ci]->Clone());
+  }
+  ExprPtr residual_expr = CombineConjuncts(std::move(residual));
+  if (residual_expr) {
+    RELOPT_RETURN_NOT_OK(residual_expr->Bind(rel.schema));
+  }
+
+  if (path.index == nullptr) {
+    PhysicalPtr scan =
+        std::make_unique<PhysSeqScan>(rel.table->name(), rel.alias, rel.schema);
+    scan->SetEstimates(path.out_rows, path.cost);
+    if (residual_expr) {
+      PhysicalPtr filter =
+          std::make_unique<PhysFilter>(std::move(scan), std::move(residual_expr));
+      filter->SetEstimates(path.out_rows, path.cost);
+      return filter;
+    }
+    return scan;
+  }
+
+  auto scan = std::make_unique<PhysIndexScan>(rel.table->name(), rel.alias, path.index->name,
+                                              rel.schema);
+  scan->lo_values = path.lo_values;
+  scan->lo_inclusive = path.lo_inclusive;
+  scan->hi_values = path.hi_values;
+  scan->hi_inclusive = path.hi_inclusive;
+  scan->residual = std::move(residual_expr);
+  scan->SetEstimates(path.out_rows, path.cost);
+  return PhysicalPtr(std::move(scan));
+}
+
+}  // namespace relopt

@@ -1,0 +1,879 @@
+#include "optimizer/join_enum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/conjuncts.h"
+#include "util/logging.h"
+
+namespace relopt {
+
+const char* JoinMethodToString(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kNestedLoop:
+      return "nlj";
+    case JoinMethod::kBlockNestedLoop:
+      return "bnlj";
+    case JoinMethod::kIndexNestedLoop:
+      return "inlj";
+    case JoinMethod::kSortMerge:
+      return "smj";
+    case JoinMethod::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+const char* JoinEnumAlgorithmToString(JoinEnumAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinEnumAlgorithm::kDpBushy:
+      return "dp-bushy";
+    case JoinEnumAlgorithm::kDpLeftDeep:
+      return "dp-leftdeep";
+    case JoinEnumAlgorithm::kGreedy:
+      return "greedy";
+    case JoinEnumAlgorithm::kExhaustive:
+      return "exhaustive";
+    case JoinEnumAlgorithm::kRandom:
+      return "random";
+    case JoinEnumAlgorithm::kWorst:
+      return "worst";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-edge selectivities and other-conjunct metadata are precomputed once.
+struct EdgeSide {
+  std::string alias;
+  std::string column;
+};
+
+}  // namespace
+
+JoinEnumerator::JoinEnumerator(const QueryGraph* graph, const SelectivityEstimator* estimator,
+                               const CostModel* cost_model, JoinEnumOptions options)
+    : graph_(graph),
+      estimator_(estimator),
+      cost_model_(cost_model),
+      options_(options),
+      rng_(options.random_seed) {}
+
+int JoinEnumerator::Intern(Candidate cand) {
+  arena_.push_back(std::move(cand));
+  return static_cast<int>(arena_.size() - 1);
+}
+
+Status JoinEnumerator::SeedBaseRelations() {
+  access_paths_.clear();
+  for (size_t i = 0; i < graph_->relations.size(); ++i) {
+    RELOPT_ASSIGN_OR_RETURN(
+        std::vector<AccessPath> paths,
+        EnumerateAccessPaths(*graph_, static_cast<int>(i), *estimator_, *cost_model_,
+                             options_.enable_index_scans));
+    const BaseRelation& rel = graph_->relations[i];
+    double base_rows = 1, base_pages = 1;
+    if (rel.table->has_stats()) {
+      base_rows = std::max<double>(1, static_cast<double>(rel.table->stats().num_rows));
+      base_pages = std::max<double>(1, static_cast<double>(rel.table->stats().num_pages));
+    } else {
+      base_rows = std::max<double>(1, static_cast<double>(rel.table->live_rows()));
+      base_pages = std::max<double>(1, static_cast<double>(rel.table->heap()->NumPages()));
+    }
+    double row_bytes = base_pages * static_cast<double>(kPageSize) / base_rows;
+
+    std::vector<Candidate> cands;
+    for (size_t p = 0; p < paths.size(); ++p) {
+      Candidate c;
+      c.set = JoinSet::Single(static_cast<int>(i));
+      c.rows = std::max(paths[p].out_rows, 0.0);
+      c.row_bytes = row_bytes;
+      c.pages = CostModel::EstimatePages(std::max(c.rows, 1.0), row_bytes);
+      c.cost = paths[p].cost;
+      c.order = paths[p].order;
+      c.is_scan = true;
+      c.rel_index = static_cast<int>(i);
+      c.path_index = static_cast<int>(p);
+      cands.push_back(std::move(c));
+    }
+    access_paths_.push_back(std::move(paths));
+    KeepCandidates(JoinSet::Single(static_cast<int>(i)), std::move(cands));
+  }
+  return Status::OK();
+}
+
+std::vector<int> JoinEnumerator::EdgesBetween(JoinSet left, JoinSet right) const {
+  std::vector<int> out;
+  for (size_t e = 0; e < graph_->edges.size(); ++e) {
+    const JoinEdge& edge = graph_->edges[e];
+    if ((left.Contains(edge.left_rel) && right.Contains(edge.right_rel)) ||
+        (left.Contains(edge.right_rel) && right.Contains(edge.left_rel))) {
+      out.push_back(static_cast<int>(e));
+    }
+  }
+  return out;
+}
+
+std::vector<int> JoinEnumerator::NewOtherConjuncts(JoinSet left, JoinSet right) const {
+  std::vector<int> out;
+  JoinSet both = left.Union(right);
+  for (size_t i = 0; i < graph_->other_conjuncts.size(); ++i) {
+    Result<JoinSet> rels = graph_->RelationsOf(*graph_->other_conjuncts[i]);
+    if (!rels.ok()) continue;
+    if (rels->IsSubsetOf(both) && !rels->IsSubsetOf(left) && !rels->IsSubsetOf(right)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+double JoinEnumerator::JoinRows(const Candidate& l, const Candidate& r,
+                                const std::vector<int>& edges,
+                                const std::vector<int>& others) const {
+  double rows = l.rows * r.rows;
+  for (int e : edges) {
+    const JoinEdge& edge = graph_->edges[e];
+    rows *= estimator_->EstimateEquiJoin(graph_->relations[edge.left_rel].alias, edge.left_column,
+                                         graph_->relations[edge.right_rel].alias,
+                                         edge.right_column);
+  }
+  for (int o : others) {
+    rows *= estimator_->EstimatePredicate(*graph_->other_conjuncts[o]);
+  }
+  return std::max(rows, 0.0);
+}
+
+void JoinEnumerator::EdgeOrders(const std::vector<int>& edges, JoinSet left_set,
+                                OrderSpec* left_order, OrderSpec* right_order) const {
+  for (int e : edges) {
+    const JoinEdge& edge = graph_->edges[e];
+    bool left_is_left = left_set.Contains(edge.left_rel);
+    const std::string& l_alias =
+        graph_->relations[left_is_left ? edge.left_rel : edge.right_rel].alias;
+    const std::string& l_col = left_is_left ? edge.left_column : edge.right_column;
+    const std::string& r_alias =
+        graph_->relations[left_is_left ? edge.right_rel : edge.left_rel].alias;
+    const std::string& r_col = left_is_left ? edge.right_column : edge.left_column;
+    left_order->push_back(OrderColumn{l_alias, l_col, false});
+    right_order->push_back(OrderColumn{r_alias, r_col, false});
+  }
+}
+
+void JoinEnumerator::EmitJoinCandidates(int left_id, int right_id, std::vector<Candidate>* out) {
+  const Candidate& l = arena_[left_id];
+  const Candidate& r = arena_[right_id];
+  std::vector<int> edges = EdgesBetween(l.set, r.set);
+  std::vector<int> others = NewOtherConjuncts(l.set, r.set);
+
+  double rows = JoinRows(l, r, edges, others);
+  double row_bytes = l.row_bytes + r.row_bytes;
+  double pages = CostModel::EstimatePages(std::max(rows, 1.0), row_bytes);
+
+  auto base = [&](JoinMethod method) {
+    Candidate c;
+    c.set = l.set.Union(r.set);
+    c.rows = rows;
+    c.row_bytes = row_bytes;
+    c.pages = pages;
+    c.is_scan = false;
+    c.method = method;
+    c.left = left_id;
+    c.right = right_id;
+    return c;
+  };
+
+  std::vector<Candidate> emitted;
+
+  if (options_.enable_nlj) {
+    Candidate c = base(JoinMethod::kNestedLoop);
+    c.cost = l.cost + cost_model_->NestedLoop(l.rows, r.cost, r.rows) + Cost{0, rows};
+    c.order = l.order;
+    emitted.push_back(std::move(c));
+  }
+  if (options_.enable_bnlj) {
+    Candidate c = base(JoinMethod::kBlockNestedLoop);
+    c.cost = l.cost + cost_model_->BlockNestedLoop(l.rows, l.pages, r.cost, r.rows) + Cost{0, rows};
+    c.order.clear();
+    emitted.push_back(std::move(c));
+  }
+  if (options_.enable_inlj && r.is_scan && r.path_index == 0 && !edges.empty()) {
+    // Probe an index on the inner base relation; emitted once per left
+    // candidate (anchored to the inner's seq-scan candidate).
+    const BaseRelation& inner = graph_->relations[r.rel_index];
+    for (IndexInfo* index : inner.table->indexes()) {
+      // Match the index key prefix against available edge columns.
+      std::vector<int> probe_edges;
+      for (size_t kp = 0; kp < index->key_columns.size(); ++kp) {
+        const std::string& key_col = inner.table->schema().ColumnAt(index->key_columns[kp]).name;
+        int found = -1;
+        for (int e : edges) {
+          const JoinEdge& edge = graph_->edges[e];
+          bool inner_is_left = edge.left_rel == r.rel_index;
+          const std::string& inner_col = inner_is_left ? edge.left_column : edge.right_column;
+          if (EqualsIgnoreCase(inner_col, key_col) &&
+              std::find(probe_edges.begin(), probe_edges.end(), e) == probe_edges.end()) {
+            found = e;
+            break;
+          }
+        }
+        if (found < 0) break;
+        probe_edges.push_back(found);
+      }
+      if (probe_edges.empty()) continue;
+
+      double base_rows = inner.table->has_stats()
+                             ? std::max<double>(1, inner.table->stats().num_rows)
+                             : std::max<double>(1, inner.table->live_rows());
+      double inner_pages = inner.table->has_stats()
+                               ? std::max<double>(1, inner.table->stats().num_pages)
+                               : std::max<double>(1, inner.table->heap()->NumPages());
+      double matches = base_rows;
+      for (int e : probe_edges) {
+        const JoinEdge& edge = graph_->edges[e];
+        bool inner_is_left = edge.left_rel == r.rel_index;
+        const std::string& inner_col = inner_is_left ? edge.left_column : edge.right_column;
+        matches /= std::max(1.0, estimator_->ColumnNdv(inner.alias, inner_col));
+      }
+      Result<int> height = index->tree->Height();
+      if (!height.ok()) continue;
+
+      Candidate c = base(JoinMethod::kIndexNestedLoop);
+      c.probe_edges = probe_edges;
+      // Store the index by remembering which of the relation's indexes it
+      // is via the path-like rel_index/probe mechanism: keep pointer via
+      // rel_index + index name in BuildJoinPlan (recomputed). To stay exact,
+      // remember the index by its position in the inner table's index list.
+      c.path_index = -1;
+      for (size_t ii = 0; ii < inner.table->indexes().size(); ++ii) {
+        if (inner.table->indexes()[ii] == index) c.path_index = static_cast<int>(ii);
+      }
+      c.rel_index = r.rel_index;
+      c.cost = l.cost +
+               cost_model_->IndexNestedLoop(l.rows, *height, matches, inner_pages, r.rows,
+                                            index->clustered) +
+               Cost{0, rows};
+      bool has_residual = probe_edges.size() < edges.size() || !others.empty() ||
+                          !inner.conjuncts.empty();
+      if (has_residual) c.cost += cost_model_->Filter(l.rows * std::max(matches, 1.0));
+      c.order = l.order;
+      emitted.push_back(std::move(c));
+    }
+  }
+  if (options_.enable_smj && !edges.empty()) {
+    OrderSpec left_order, right_order;
+    EdgeOrders(edges, l.set, &left_order, &right_order);
+    Candidate c = base(JoinMethod::kSortMerge);
+    c.sort_left = !OrderSatisfies(l.order, left_order);
+    c.sort_right = !OrderSatisfies(r.order, right_order);
+    c.cost = l.cost + r.cost + cost_model_->MergeJoin(l.rows, r.rows, rows);
+    if (c.sort_left) c.cost += cost_model_->Sort(l.rows, l.pages);
+    if (c.sort_right) c.cost += cost_model_->Sort(r.rows, r.pages);
+    c.order = left_order;
+    emitted.push_back(std::move(c));
+  }
+  if (options_.enable_hash && !edges.empty()) {
+    Candidate c = base(JoinMethod::kHash);
+    c.build_left = l.pages <= r.pages;
+    double build_rows = c.build_left ? l.rows : r.rows;
+    double build_pages = c.build_left ? l.pages : r.pages;
+    double probe_rows = c.build_left ? r.rows : l.rows;
+    double probe_pages = c.build_left ? r.pages : l.pages;
+    c.cost = l.cost + r.cost +
+             cost_model_->HashJoin(build_rows, build_pages, probe_rows, probe_pages) +
+             Cost{0, rows};
+    c.order.clear();
+    emitted.push_back(std::move(c));
+  }
+
+  stats_.joins_costed += emitted.size();
+
+  if (maximize_ && !emitted.empty()) {
+    // Worst-order search: the plan still uses the cheapest method per join,
+    // so the metric isolates join-order quality.
+    size_t best = 0;
+    for (size_t i = 1; i < emitted.size(); ++i) {
+      if (cost_model_->Total(emitted[i].cost) < cost_model_->Total(emitted[best].cost)) best = i;
+    }
+    out->push_back(std::move(emitted[best]));
+    return;
+  }
+  for (Candidate& c : emitted) out->push_back(std::move(c));
+}
+
+void JoinEnumerator::KeepCandidates(JoinSet set, std::vector<Candidate> candidates) {
+  if (candidates.empty()) return;
+  // Trim orders to interesting ones so useless orders don't clog the table.
+  for (Candidate& c : candidates) {
+    if (!options_.use_interesting_orders) {
+      c.order.clear();
+      continue;
+    }
+    OrderSpec best_trim;
+    for (const OrderSpec& want : interesting_orders_) {
+      if (want.size() > best_trim.size() && OrderSatisfies(c.order, want)) best_trim = want;
+    }
+    c.order = best_trim;
+  }
+
+  if (maximize_) {
+    // Worst-order search: base relations still use their best access path
+    // (the metric isolates join-order quality, not access-path quality).
+    bool pick_cheapest = candidates.front().is_scan;
+    size_t worst = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      bool better = cost_model_->Total(candidates[i].cost) > cost_model_->Total(candidates[worst].cost);
+      if (pick_cheapest) better = !better;
+      if (better) worst = i;
+    }
+    std::vector<int>& slot = dp_[set];
+    if (slot.empty()) {
+      slot.push_back(Intern(std::move(candidates[worst])));
+      stats_.dp_entries++;
+    } else if (cost_model_->Total(candidates[worst].cost) >
+               cost_model_->Total(arena_[slot[0]].cost)) {
+      slot[0] = Intern(std::move(candidates[worst]));
+    }
+    return;
+  }
+
+  std::sort(candidates.begin(), candidates.end(), [&](const Candidate& a, const Candidate& b) {
+    return cost_model_->Total(a.cost) < cost_model_->Total(b.cost);
+  });
+
+  std::vector<int>& slot = dp_[set];
+  // Merge with existing entries under dominance.
+  std::vector<Candidate> merged;
+  for (int id : slot) merged.push_back(arena_[id]);
+  for (Candidate& c : candidates) merged.push_back(std::move(c));
+  std::sort(merged.begin(), merged.end(), [&](const Candidate& a, const Candidate& b) {
+    return cost_model_->Total(a.cost) < cost_model_->Total(b.cost);
+  });
+  std::vector<Candidate> kept;
+  for (Candidate& c : merged) {
+    bool dominated = false;
+    for (const Candidate& k : kept) {
+      if (cost_model_->Total(k.cost) <= cost_model_->Total(c.cost) &&
+          OrderSatisfies(k.order, c.order)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated && kept.size() < options_.max_candidates_per_set) {
+      kept.push_back(std::move(c));
+    }
+  }
+  slot.clear();
+  for (Candidate& c : kept) {
+    slot.push_back(Intern(std::move(c)));
+  }
+  stats_.dp_entries += slot.size();
+}
+
+Result<int> JoinEnumerator::PickFinal(const std::vector<int>& full_set_candidates,
+                                      const OrderSpec& required_order,
+                                      bool* order_satisfied) const {
+  if (full_set_candidates.empty()) {
+    return Status::Internal("join enumeration produced no plan for the full relation set");
+  }
+  int best = -1;
+  double best_total = 0;
+  bool best_satisfied = false;
+  for (int id : full_set_candidates) {
+    const Candidate& c = arena_[id];
+    bool satisfied = required_order.empty() || OrderSatisfies(c.order, required_order);
+    double total = cost_model_->Total(c.cost);
+    if (!satisfied && !required_order.empty()) {
+      total += cost_model_->Total(cost_model_->Sort(c.rows, c.pages));
+    }
+    if (best < 0 || total < best_total) {
+      best = id;
+      best_total = total;
+      best_satisfied = satisfied;
+    }
+  }
+  *order_satisfied = best_satisfied;
+  return best;
+}
+
+Result<int> JoinEnumerator::RunDp(bool left_deep_only, bool maximize) {
+  maximize_ = maximize;
+  RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+  const int n = static_cast<int>(graph_->relations.size());
+  const uint64_t full = JoinSet::AllUpTo(n).bits();
+
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    JoinSet set(mask);
+    if (!set.IsSubsetOf(JoinSet(full))) continue;
+    if (set.Count() < 2) continue;
+    stats_.subsets_visited++;
+
+    // Gather splits: (L, R) ordered pairs.
+    std::vector<std::pair<JoinSet, JoinSet>> splits;
+    if (left_deep_only) {
+      set.ForEach([&](int r) {
+        JoinSet right = JoinSet::Single(r);
+        splits.push_back({set.Minus(right), right});
+      });
+    } else {
+      for (SubsetIterator it(set); it.Valid(); it.Next()) {
+        JoinSet sub = it.Current();
+        splits.push_back({sub, set.Minus(sub)});
+      }
+    }
+
+    auto connected = [&](const std::pair<JoinSet, JoinSet>& s) {
+      return !EdgesBetween(s.first, s.second).empty() ||
+             !NewOtherConjuncts(s.first, s.second).empty();
+    };
+
+    bool any_connected = false;
+    if (options_.avoid_cross_products) {
+      for (const auto& s : splits) {
+        if (connected(s)) {
+          any_connected = true;
+          break;
+        }
+      }
+    }
+
+    std::vector<Candidate> candidates;
+    for (const auto& [left_set, right_set] : splits) {
+      if (options_.avoid_cross_products && any_connected && !connected({left_set, right_set})) {
+        continue;
+      }
+      auto lit = dp_.find(left_set);
+      auto rit = dp_.find(right_set);
+      if (lit == dp_.end() || rit == dp_.end()) continue;
+      for (int lid : lit->second) {
+        for (int rid : rit->second) {
+          EmitJoinCandidates(lid, rid, &candidates);
+        }
+      }
+    }
+    KeepCandidates(set, std::move(candidates));
+  }
+
+  auto it = dp_.find(JoinSet(full));
+  if (it == dp_.end()) return Status::Internal("DP reached no full-set plan");
+  return it->second.empty() ? Status::Internal("DP kept no full-set candidate")
+                            : Result<int>(it->second.front());
+}
+
+Result<int> JoinEnumerator::RunGreedy() {
+  RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+  const int n = static_cast<int>(graph_->relations.size());
+
+  // Component list: cheapest candidate per relation to start.
+  std::vector<int> components;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int>& cands = dp_[JoinSet::Single(i)];
+    int best = cands.front();
+    for (int id : cands) {
+      if (cost_model_->Total(arena_[id].cost) < cost_model_->Total(arena_[best].cost)) best = id;
+    }
+    components.push_back(best);
+  }
+
+  while (components.size() > 1) {
+    int best_i = -1, best_j = -1;
+    Candidate best_cand;
+    bool have = false;
+    bool any_connected = false;
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = 0; j < components.size(); ++j) {
+        if (i == j) continue;
+        if (!EdgesBetween(arena_[components[i]].set, arena_[components[j]].set).empty() ||
+            !NewOtherConjuncts(arena_[components[i]].set, arena_[components[j]].set).empty()) {
+          any_connected = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = 0; j < components.size(); ++j) {
+        if (i == j) continue;
+        bool conn =
+            !EdgesBetween(arena_[components[i]].set, arena_[components[j]].set).empty() ||
+            !NewOtherConjuncts(arena_[components[i]].set, arena_[components[j]].set).empty();
+        if (any_connected && !conn) continue;
+        std::vector<Candidate> cands;
+        EmitJoinCandidates(components[i], components[j], &cands);
+        for (Candidate& c : cands) {
+          if (!have || cost_model_->Total(c.cost) < cost_model_->Total(best_cand.cost)) {
+            best_cand = std::move(c);
+            best_i = static_cast<int>(i);
+            best_j = static_cast<int>(j);
+            have = true;
+          }
+        }
+      }
+    }
+    if (!have) return Status::Internal("greedy enumeration found no joinable pair");
+    int merged = Intern(std::move(best_cand));
+    // Remove the higher index first.
+    if (best_i < best_j) std::swap(best_i, best_j);
+    components.erase(components.begin() + best_i);
+    components.erase(components.begin() + best_j);
+    components.push_back(merged);
+  }
+  return components.front();
+}
+
+Result<int> JoinEnumerator::RunExhaustive() {
+  RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+  const int n = static_cast<int>(graph_->relations.size());
+  const JoinSet full = JoinSet::AllUpTo(n);
+
+  std::vector<int> finals;
+
+  // Depth-first over left-deep permutations, cheapest method at each step.
+  struct Frame {
+    int cand;
+    JoinSet remaining;
+  };
+  std::vector<Frame> stack;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int>& cands = dp_[JoinSet::Single(i)];
+    int best = cands.front();
+    for (int id : cands) {
+      if (cost_model_->Total(arena_[id].cost) < cost_model_->Total(arena_[best].cost)) best = id;
+    }
+    stack.push_back(Frame{best, full.Minus(JoinSet::Single(i))});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.remaining.Empty()) {
+      finals.push_back(frame.cand);
+      continue;
+    }
+    bool any_connected = false;
+    frame.remaining.ForEach([&](int r) {
+      if (!EdgesBetween(arena_[frame.cand].set, JoinSet::Single(r)).empty()) any_connected = true;
+    });
+    frame.remaining.ForEach([&](int r) {
+      if (options_.avoid_cross_products && any_connected &&
+          EdgesBetween(arena_[frame.cand].set, JoinSet::Single(r)).empty()) {
+        return;
+      }
+      const std::vector<int>& rcands = dp_[JoinSet::Single(r)];
+      std::vector<Candidate> cands;
+      for (int rid : rcands) EmitJoinCandidates(frame.cand, rid, &cands);
+      if (cands.empty()) return;
+      size_t best = 0;
+      for (size_t i = 1; i < cands.size(); ++i) {
+        if (cost_model_->Total(cands[i].cost) < cost_model_->Total(cands[best].cost)) best = i;
+      }
+      int id = Intern(std::move(cands[best]));
+      stack.push_back(Frame{id, frame.remaining.Minus(JoinSet::Single(r))});
+    });
+  }
+  if (finals.empty()) return Status::Internal("exhaustive enumeration found no plan");
+  int best = finals.front();
+  for (int id : finals) {
+    if (cost_model_->Total(arena_[id].cost) < cost_model_->Total(arena_[best].cost)) best = id;
+  }
+  return best;
+}
+
+Result<int> JoinEnumerator::RunRandom() {
+  RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+  const int n = static_cast<int>(graph_->relations.size());
+
+  int start = static_cast<int>(rng_.UniformInt(0, n - 1));
+  const std::vector<int>& scands = dp_[JoinSet::Single(start)];
+  int current = scands[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(scands.size()) - 1))];
+  JoinSet remaining = JoinSet::AllUpTo(n).Minus(JoinSet::Single(start));
+
+  while (!remaining.Empty()) {
+    // Prefer relations connected to the current set (random valid order).
+    std::vector<int> connected_rels, all_rels;
+    remaining.ForEach([&](int r) {
+      all_rels.push_back(r);
+      if (!EdgesBetween(arena_[current].set, JoinSet::Single(r)).empty()) {
+        connected_rels.push_back(r);
+      }
+    });
+    std::vector<int>& pool = connected_rels.empty() ? all_rels : connected_rels;
+    int r = pool[static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+
+    const std::vector<int>& rcands = dp_[JoinSet::Single(r)];
+    std::vector<Candidate> cands;
+    for (int rid : rcands) EmitJoinCandidates(current, rid, &cands);
+    if (cands.empty()) return Status::Internal("random enumeration found no join");
+    size_t best = 0;
+    for (size_t i = 1; i < cands.size(); ++i) {
+      if (cost_model_->Total(cands[i].cost) < cost_model_->Total(cands[best].cost)) best = i;
+    }
+    current = Intern(std::move(cands[best]));
+    remaining = remaining.Minus(JoinSet::Single(r));
+  }
+  return current;
+}
+
+Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
+  if (graph_->relations.empty()) {
+    return Status::InvalidArgument("join enumeration needs at least one relation");
+  }
+  arena_.clear();
+  dp_.clear();
+  stats_ = JoinEnumStats{};
+  maximize_ = false;
+
+  // Interesting orders: the required order plus single-column join-key
+  // orders on both sides of every edge.
+  interesting_orders_.clear();
+  if (options_.use_interesting_orders) {
+    if (!required_order.empty()) interesting_orders_.push_back(required_order);
+    for (const JoinEdge& e : graph_->edges) {
+      interesting_orders_.push_back(
+          {OrderColumn{graph_->relations[e.left_rel].alias, e.left_column, false}});
+      interesting_orders_.push_back(
+          {OrderColumn{graph_->relations[e.right_rel].alias, e.right_column, false}});
+    }
+  }
+
+  int final_id = -1;
+  bool order_satisfied = false;
+
+  if (graph_->relations.size() == 1) {
+    RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+    RELOPT_ASSIGN_OR_RETURN(final_id,
+                            PickFinal(dp_[JoinSet::Single(0)], required_order, &order_satisfied));
+  } else {
+    switch (options_.algorithm) {
+      case JoinEnumAlgorithm::kDpBushy: {
+        RELOPT_ASSIGN_OR_RETURN(int id, RunDp(false, false));
+        (void)id;
+        uint64_t full = JoinSet::AllUpTo(static_cast<int>(graph_->relations.size())).bits();
+        RELOPT_ASSIGN_OR_RETURN(final_id,
+                                PickFinal(dp_[JoinSet(full)], required_order, &order_satisfied));
+        break;
+      }
+      case JoinEnumAlgorithm::kDpLeftDeep: {
+        RELOPT_ASSIGN_OR_RETURN(int id, RunDp(true, false));
+        (void)id;
+        uint64_t full = JoinSet::AllUpTo(static_cast<int>(graph_->relations.size())).bits();
+        RELOPT_ASSIGN_OR_RETURN(final_id,
+                                PickFinal(dp_[JoinSet(full)], required_order, &order_satisfied));
+        break;
+      }
+      case JoinEnumAlgorithm::kWorst: {
+        RELOPT_ASSIGN_OR_RETURN(final_id, RunDp(true, true));
+        order_satisfied = required_order.empty();
+        break;
+      }
+      case JoinEnumAlgorithm::kGreedy: {
+        RELOPT_ASSIGN_OR_RETURN(final_id, RunGreedy());
+        order_satisfied =
+            required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
+        break;
+      }
+      case JoinEnumAlgorithm::kExhaustive: {
+        RELOPT_ASSIGN_OR_RETURN(final_id, RunExhaustive());
+        order_satisfied =
+            required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
+        break;
+      }
+      case JoinEnumAlgorithm::kRandom: {
+        RELOPT_ASSIGN_OR_RETURN(final_id, RunRandom());
+        order_satisfied =
+            required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
+        break;
+      }
+    }
+  }
+
+  JoinEnumResult result;
+  RELOPT_ASSIGN_OR_RETURN(result.plan, BuildPlan(final_id));
+  result.rows = arena_[final_id].rows;
+  result.cost = arena_[final_id].cost;
+  result.order = arena_[final_id].order;
+  result.order_satisfied = order_satisfied;
+  return result;
+}
+
+Result<PhysicalPtr> JoinEnumerator::BuildPlan(int cand_id) const {
+  const Candidate& cand = arena_[cand_id];
+  if (cand.is_scan) {
+    return BuildAccessPathPlan(*graph_, access_paths_[cand.rel_index][cand.path_index]);
+  }
+  return BuildJoinPlan(cand);
+}
+
+Result<PhysicalPtr> JoinEnumerator::BuildJoinPlan(const Candidate& cand) const {
+  const Candidate& l = arena_[cand.left];
+  const Candidate& r = arena_[cand.right];
+  std::vector<int> edges = EdgesBetween(l.set, r.set);
+  std::vector<int> others = NewOtherConjuncts(l.set, r.set);
+
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr left_plan, BuildPlan(cand.left));
+
+  auto edge_expr = [&](int e) {
+    const JoinEdge& edge = graph_->edges[e];
+    return MakeComparison(CompareOp::kEq,
+                          MakeColumnRef(graph_->relations[edge.left_rel].alias, edge.left_column),
+                          MakeColumnRef(graph_->relations[edge.right_rel].alias,
+                                        edge.right_column));
+  };
+
+  // --- INLJ: no right child plan; the inner is (table, index). -----------
+  if (cand.method == JoinMethod::kIndexNestedLoop) {
+    const BaseRelation& inner = graph_->relations[cand.rel_index];
+    IndexInfo* index = inner.table->indexes()[cand.path_index];
+
+    std::vector<ExprPtr> key_exprs;
+    for (int e : cand.probe_edges) {
+      const JoinEdge& edge = graph_->edges[e];
+      bool inner_is_left = edge.left_rel == cand.rel_index;
+      const std::string& outer_alias =
+          graph_->relations[inner_is_left ? edge.right_rel : edge.left_rel].alias;
+      const std::string& outer_col = inner_is_left ? edge.right_column : edge.left_column;
+      ExprPtr ref = MakeColumnRef(outer_alias, outer_col);
+      RELOPT_RETURN_NOT_OK(ref->Bind(left_plan->schema()));
+      key_exprs.push_back(std::move(ref));
+    }
+
+    // Residual: unused edges + other conjuncts + the inner's own filters.
+    std::vector<ExprPtr> residual;
+    for (int e : edges) {
+      if (std::find(cand.probe_edges.begin(), cand.probe_edges.end(), e) !=
+          cand.probe_edges.end()) {
+        continue;
+      }
+      residual.push_back(edge_expr(e));
+    }
+    for (int o : others) residual.push_back(graph_->other_conjuncts[o]->Clone());
+    for (const ExprPtr& c : inner.conjuncts) residual.push_back(c->Clone());
+    ExprPtr residual_expr = CombineConjuncts(std::move(residual));
+
+    auto node = std::make_unique<PhysIndexNestedLoopJoin>(
+        std::move(left_plan), inner.table->name(), inner.alias, index->name, inner.schema,
+        std::move(key_exprs), std::move(residual_expr));
+    if (node->residual() != nullptr) {
+      RELOPT_RETURN_NOT_OK(const_cast<Expression*>(node->residual())->Bind(node->schema()));
+    }
+    node->SetEstimates(cand.rows, cand.cost);
+    return PhysicalPtr(std::move(node));
+  }
+
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr right_plan, BuildPlan(cand.right));
+
+  // SMJ sort enforcers.
+  OrderSpec left_order, right_order;
+  EdgeOrders(edges, l.set, &left_order, &right_order);
+  auto add_sort = [&](PhysicalPtr plan, const OrderSpec& order, double rows,
+                      double pages) -> Result<PhysicalPtr> {
+    std::vector<PhysSort::Key> keys;
+    for (const OrderColumn& oc : order) {
+      ExprPtr ref = MakeColumnRef(oc.alias, oc.column);
+      RELOPT_RETURN_NOT_OK(ref->Bind(plan->schema()));
+      keys.push_back(PhysSort::Key{std::move(ref), oc.desc});
+    }
+    Cost child_cost = plan->est_cost();
+    auto sort = std::make_unique<PhysSort>(std::move(plan), std::move(keys));
+    sort->SetEstimates(rows, child_cost + cost_model_->Sort(rows, pages));
+    return PhysicalPtr(std::move(sort));
+  };
+
+  switch (cand.method) {
+    case JoinMethod::kNestedLoop:
+    case JoinMethod::kBlockNestedLoop: {
+      std::vector<ExprPtr> preds;
+      for (int e : edges) preds.push_back(edge_expr(e));
+      for (int o : others) preds.push_back(graph_->other_conjuncts[o]->Clone());
+      ExprPtr pred = CombineConjuncts(std::move(preds));
+      Schema concat = Schema::Concat(left_plan->schema(), right_plan->schema());
+      if (pred) {
+        RELOPT_RETURN_NOT_OK(pred->Bind(concat));
+      }
+      PhysicalPtr node;
+      if (cand.method == JoinMethod::kNestedLoop) {
+        node = std::make_unique<PhysNestedLoopJoin>(std::move(left_plan), std::move(right_plan),
+                                                    std::move(pred));
+      } else {
+        node = std::make_unique<PhysBlockNestedLoopJoin>(
+            std::move(left_plan), std::move(right_plan), std::move(pred),
+            std::max<size_t>(1, cost_model_->OperatorMemoryPages() - 2));
+      }
+      node->SetEstimates(cand.rows, cand.cost);
+      return node;
+    }
+    case JoinMethod::kSortMerge: {
+      if (cand.sort_left) {
+        RELOPT_ASSIGN_OR_RETURN(left_plan,
+                                add_sort(std::move(left_plan), left_order, l.rows, l.pages));
+      }
+      if (cand.sort_right) {
+        RELOPT_ASSIGN_OR_RETURN(right_plan,
+                                add_sort(std::move(right_plan), right_order, r.rows, r.pages));
+      }
+      std::vector<size_t> left_keys, right_keys;
+      for (const OrderColumn& oc : left_order) {
+        RELOPT_ASSIGN_OR_RETURN(size_t idx, left_plan->schema().IndexOf(oc.alias, oc.column));
+        left_keys.push_back(idx);
+      }
+      for (const OrderColumn& oc : right_order) {
+        RELOPT_ASSIGN_OR_RETURN(size_t idx, right_plan->schema().IndexOf(oc.alias, oc.column));
+        right_keys.push_back(idx);
+      }
+      std::vector<ExprPtr> residual;
+      for (int o : others) residual.push_back(graph_->other_conjuncts[o]->Clone());
+      ExprPtr residual_expr = CombineConjuncts(std::move(residual));
+      Schema concat = Schema::Concat(left_plan->schema(), right_plan->schema());
+      if (residual_expr) {
+        RELOPT_RETURN_NOT_OK(residual_expr->Bind(concat));
+      }
+      auto node = std::make_unique<PhysSortMergeJoin>(std::move(left_plan), std::move(right_plan),
+                                                      std::move(left_keys), std::move(right_keys),
+                                                      std::move(residual_expr));
+      node->SetEstimates(cand.rows, cand.cost);
+      return PhysicalPtr(std::move(node));
+    }
+    case JoinMethod::kHash: {
+      // Keys per side.
+      std::vector<size_t> left_keys, right_keys;
+      for (const OrderColumn& oc : left_order) {
+        RELOPT_ASSIGN_OR_RETURN(size_t idx, left_plan->schema().IndexOf(oc.alias, oc.column));
+        left_keys.push_back(idx);
+      }
+      for (const OrderColumn& oc : right_order) {
+        RELOPT_ASSIGN_OR_RETURN(size_t idx, right_plan->schema().IndexOf(oc.alias, oc.column));
+        right_keys.push_back(idx);
+      }
+      std::vector<ExprPtr> residual;
+      for (int o : others) residual.push_back(graph_->other_conjuncts[o]->Clone());
+      ExprPtr residual_expr = CombineConjuncts(std::move(residual));
+      Schema concat = Schema::Concat(left_plan->schema(), right_plan->schema());
+      if (residual_expr) {
+        RELOPT_RETURN_NOT_OK(residual_expr->Bind(concat));
+      }
+      PhysicalPtr build_plan;
+      PhysicalPtr probe_plan;
+      std::vector<size_t> build_keys, probe_keys;
+      bool output_probe_first;
+      if (cand.build_left) {
+        build_plan = std::move(left_plan);
+        probe_plan = std::move(right_plan);
+        build_keys = left_keys;
+        probe_keys = right_keys;
+        output_probe_first = false;
+      } else {
+        build_plan = std::move(right_plan);
+        probe_plan = std::move(left_plan);
+        build_keys = right_keys;
+        probe_keys = left_keys;
+        output_probe_first = true;
+      }
+      auto node = std::make_unique<PhysHashJoin>(std::move(build_plan), std::move(probe_plan),
+                                                 std::move(build_keys), std::move(probe_keys),
+                                                 std::move(residual_expr), output_probe_first);
+      node->SetEstimates(cand.rows, cand.cost);
+      return PhysicalPtr(std::move(node));
+    }
+    default:
+      return Status::Internal("unexpected join method in BuildJoinPlan");
+  }
+}
+
+}  // namespace relopt

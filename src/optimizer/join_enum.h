@@ -1,0 +1,158 @@
+// Join-order enumeration: Selinger DP (bushy & left-deep) with interesting
+// orders, plus the baseline strategies the evaluation compares against
+// (exhaustive, greedy, random, worst-case).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/access_path.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_graph.h"
+#include "optimizer/order_spec.h"
+#include "optimizer/selectivity.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace relopt {
+
+enum class JoinMethod {
+  kNestedLoop,
+  kBlockNestedLoop,
+  kIndexNestedLoop,
+  kSortMerge,
+  kHash,
+};
+
+const char* JoinMethodToString(JoinMethod method);
+
+/// Which enumeration strategy to run.
+enum class JoinEnumAlgorithm {
+  kDpBushy,     ///< Selinger DP over all connected splits (bushy trees)
+  kDpLeftDeep,  ///< Selinger DP restricted to left-deep trees
+  kGreedy,      ///< greedy pairwise (GOO-style): repeatedly merge cheapest
+  kExhaustive,  ///< all left-deep permutations, cheapest method per step
+  kRandom,      ///< one random left-deep permutation (cheapest methods)
+  kWorst,       ///< DP maximizing cost over orders (methods still cheapest)
+};
+
+const char* JoinEnumAlgorithmToString(JoinEnumAlgorithm algorithm);
+
+struct JoinEnumOptions {
+  JoinEnumAlgorithm algorithm = JoinEnumAlgorithm::kDpBushy;
+  bool use_interesting_orders = true;
+  bool avoid_cross_products = true;
+  bool enable_nlj = true;
+  bool enable_bnlj = true;
+  bool enable_inlj = true;
+  bool enable_smj = true;
+  bool enable_hash = true;
+  bool enable_index_scans = true;
+  uint64_t random_seed = 42;
+  /// Cap on kept candidates per DP subset (dominance-pruned first).
+  size_t max_candidates_per_set = 8;
+};
+
+struct JoinEnumResult {
+  PhysicalPtr plan;
+  double rows = 0;
+  Cost cost;
+  OrderSpec order;          ///< delivered output order
+  bool order_satisfied = false;  ///< true if `required_order` was delivered
+};
+
+struct JoinEnumStats {
+  uint64_t joins_costed = 0;    ///< (left cand, right cand, method) combos
+  uint64_t dp_entries = 0;      ///< candidates kept across all subsets
+  uint64_t subsets_visited = 0;
+};
+
+/// \brief Enumerates join orders/methods for a QueryGraph and returns the
+/// chosen physical plan with estimates.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const QueryGraph* graph, const SelectivityEstimator* estimator,
+                 const CostModel* cost_model, JoinEnumOptions options);
+
+  /// `required_order` (possibly empty) is the ORDER BY the consumer wants;
+  /// with interesting orders enabled the DP may deliver it sort-free.
+  Result<JoinEnumResult> Run(const OrderSpec& required_order);
+
+  const JoinEnumStats& stats() const { return stats_; }
+
+ private:
+  /// A DP candidate: estimates plus the recipe to rebuild its plan.
+  struct Candidate {
+    JoinSet set;
+    double rows = 0;
+    double row_bytes = 0;
+    double pages = 0;
+    Cost cost;
+    OrderSpec order;
+
+    bool is_scan = false;
+    int rel_index = -1;
+    int path_index = -1;
+
+    JoinMethod method = JoinMethod::kNestedLoop;
+    int left = -1;   // arena ids
+    int right = -1;
+    bool build_left = true;       // hash: which side builds
+    bool sort_left = false;       // smj enforcers
+    bool sort_right = false;
+    std::vector<int> probe_edges;  // inlj: edges used as probe keys
+  };
+
+  // --- shared helpers -----------------------------------------------------
+  Status SeedBaseRelations();
+  /// Edges joining `left` to `right`.
+  std::vector<int> EdgesBetween(JoinSet left, JoinSet right) const;
+  /// other_conjuncts newly applicable at `left` ∪ `right`.
+  std::vector<int> NewOtherConjuncts(JoinSet left, JoinSet right) const;
+  /// Estimated output rows of joining two candidate sets.
+  double JoinRows(const Candidate& l, const Candidate& r, const std::vector<int>& edges,
+                  const std::vector<int>& others) const;
+
+  /// Generates every enabled method's candidate for (l, r); appends to out.
+  void EmitJoinCandidates(int left_id, int right_id, std::vector<Candidate>* out);
+
+  /// Dominance-prunes and stores candidates for a subset.
+  void KeepCandidates(JoinSet set, std::vector<Candidate> candidates);
+
+  /// Adds `cand` to the arena, returns its id.
+  int Intern(Candidate cand);
+
+  Result<int> RunDp(bool left_deep_only, bool maximize);
+  Result<int> RunGreedy();
+  Result<int> RunExhaustive();
+  Result<int> RunRandom();
+
+  /// Best arena id for the full relation set honoring `required_order`
+  /// (adds a Sort at materialization if unmet and `order_satisfied=false`).
+  Result<int> PickFinal(const std::vector<int>& full_set_candidates,
+                        const OrderSpec& required_order, bool* order_satisfied) const;
+
+  /// Materializes the physical plan for an arena candidate.
+  Result<PhysicalPtr> BuildPlan(int cand_id) const;
+  Result<PhysicalPtr> BuildJoinPlan(const Candidate& cand) const;
+
+  /// Key columns of `edges` on each side, as OrderSpecs (ascending).
+  void EdgeOrders(const std::vector<int>& edges, JoinSet left_set, OrderSpec* left_order,
+                  OrderSpec* right_order) const;
+
+  const QueryGraph* graph_;
+  const SelectivityEstimator* estimator_;
+  const CostModel* cost_model_;
+  JoinEnumOptions options_;
+  Rng rng_;
+
+  std::vector<std::vector<AccessPath>> access_paths_;  // per relation
+  std::vector<Candidate> arena_;
+  std::unordered_map<JoinSet, std::vector<int>, JoinSetHash> dp_;
+  std::vector<OrderSpec> interesting_orders_;
+  JoinEnumStats stats_;
+  bool maximize_ = false;
+};
+
+}  // namespace relopt

@@ -1,0 +1,70 @@
+// The optimizer facade: logical plan -> physical plan.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/join_enum.h"
+#include "optimizer/rewriter.h"
+#include "optimizer/selectivity.h"
+#include "plan/logical_plan.h"
+#include "plan/physical_plan.h"
+
+namespace relopt {
+
+struct OptimizerOptions {
+  JoinEnumOptions join;
+  StatsMode stats_mode = StatsMode::kHistogram;
+  double cpu_weight = Cost::kDefaultCpuWeight;
+  /// Buffer pool pages the cost model assumes (should match the real pool).
+  size_t buffer_pages = 256;
+  /// Bypass all optimization: translate the binder's plan 1:1 (SeqScans,
+  /// NLJs in FROM order, WHERE evaluated on top). The rewrite-ablation
+  /// baseline.
+  bool naive = false;
+};
+
+/// What the optimizer did (for EXPLAIN and the enumeration benchmarks).
+struct OptimizeInfo {
+  JoinEnumStats enum_stats;
+  double est_rows = 0;
+  Cost est_cost;
+  bool order_from_plan = false;  ///< ORDER BY satisfied without a Sort node
+};
+
+/// \brief Cost-based optimizer in the System-R architecture:
+/// normalize -> query graph -> access paths -> join enumeration -> top
+/// operators (aggregate / sort via interesting orders / project / limit).
+class Optimizer {
+ public:
+  Optimizer(const Catalog* catalog, OptimizerOptions options)
+      : catalog_(catalog),
+        options_(std::move(options)),
+        cost_model_(options_.buffer_pages, options_.cpu_weight) {}
+
+  /// Consumes the logical plan.
+  Result<PhysicalPtr> Optimize(LogicalPtr plan, OptimizeInfo* info = nullptr);
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  struct Translated {
+    PhysicalPtr plan;
+    OrderSpec order;  ///< known output order
+  };
+
+  /// True if `node` roots a join block (Scan / Join / Filter-over-those).
+  static bool IsJoinBlock(const LogicalNode& node);
+
+  Result<Translated> Translate(LogicalPtr node, const OrderSpec& required_order,
+                               OptimizeInfo* info);
+  Result<Translated> TranslateJoinBlock(LogicalPtr node, const OrderSpec& required_order,
+                                        OptimizeInfo* info);
+  Result<PhysicalPtr> TranslateNaive(LogicalPtr node);
+
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+  CostModel cost_model_;
+  AliasMap aliases_;  // rebuilt per Optimize() call
+};
+
+}  // namespace relopt

@@ -1,0 +1,68 @@
+// Selectivity estimation: System-R uniform defaults vs histograms.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "expr/conjuncts.h"
+#include "expr/expression.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// How column statistics are used for estimation. The estimation-error
+/// experiment (T5) toggles this.
+enum class StatsMode {
+  /// No statistics at all: the fixed magic constants of the earliest
+  /// optimizers (1/10 for equality, 1/3 for ranges).
+  kNoStats,
+  /// System-R style: uniform-distribution assumption using NDV and min/max
+  /// interpolation.
+  kSystemR,
+  /// Equi-depth histograms when available (falls back to kSystemR).
+  kHistogram,
+};
+
+const char* StatsModeToString(StatsMode mode);
+
+/// Maps FROM aliases to their base tables (the estimator's name context).
+using AliasMap = std::map<std::string, TableInfo*>;
+
+/// \brief Estimates predicate and join selectivities from catalog statistics.
+class SelectivityEstimator {
+ public:
+  SelectivityEstimator(const AliasMap* aliases, StatsMode mode)
+      : aliases_(aliases), mode_(mode) {}
+
+  StatsMode mode() const { return mode_; }
+
+  /// Fraction of rows satisfying `expr` (a predicate over one or more
+  /// relations; column refs are resolved through the alias map). Unknown
+  /// shapes fall back to the classic default 1/3.
+  double EstimatePredicate(const Expression& expr) const;
+
+  /// Join selectivity of `left_alias.left_col = right_alias.right_col`:
+  /// 1 / max(ndv_left, ndv_right), the System-R containment assumption.
+  double EstimateEquiJoin(const std::string& left_alias, const std::string& left_col,
+                          const std::string& right_alias, const std::string& right_col) const;
+
+  /// Distinct values of a column (>=1); falls back to a tenth of the rows.
+  double ColumnNdv(const std::string& alias, const std::string& column) const;
+
+  /// Column stats lookup; nullptr if the table has no stats or no column.
+  const ColumnStats* FindColumn(const std::string& alias, const std::string& column) const;
+
+  /// Defaults used when nothing better is known (exposed for tests).
+  static constexpr double kDefaultEq = 0.1;
+  static constexpr double kDefaultRange = 1.0 / 3.0;
+  static constexpr double kDefaultUnknown = 1.0 / 3.0;
+
+ private:
+  double EstimateSargable(const SargablePred& pred) const;
+
+  const AliasMap* aliases_;
+  StatsMode mode_;
+};
+
+}  // namespace relopt

@@ -1,0 +1,140 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/str_util.h"
+
+namespace relopt {
+
+bool Token::IsWord(const char* word) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return kind == TokenKind::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) ++i;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          return Status::ParseError("malformed number at offset " + std::to_string(start));
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokenKind::kDoubleLiteral;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return Status::ParseError("integer literal out of range at offset " +
+                                    std::to_string(start));
+        }
+        tok.kind = TokenKind::kIntLiteral;
+        tok.int_value = v;
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.kind = TokenKind::kStringLiteral;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    tok.kind = TokenKind::kSymbol;
+    if (two("<>") || two("!=")) {
+      tok.text = "<>";
+      i += 2;
+    } else if (two("<=")) {
+      tok.text = "<=";
+      i += 2;
+    } else if (two(">=")) {
+      tok.text = ">=";
+      i += 2;
+    } else {
+      static const std::string kSingles = "=<>(),;.*+-/%";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::ParseError(std::string("unexpected character '") + c + "' at offset " +
+                                  std::to_string(i));
+      }
+      tok.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace relopt

@@ -1,0 +1,37 @@
+// SQL lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace relopt {
+
+enum class TokenKind {
+  kIdentifier,   // foo, foo_bar (also keywords; the parser matches text)
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 3.5, 1e-3
+  kStringLiteral,  // 'abc' (quotes stripped, '' unescaped)
+  kSymbol,       // punctuation/operator, text holds it: = <> < <= > >= ( ) , ; . * + - / %
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;        // identifier/symbol text (identifiers keep case)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t position = 0;     // byte offset, for error messages
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// Case-insensitive keyword/identifier match.
+  bool IsWord(const char* word) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// Tokenizes `sql`; the final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace relopt

@@ -1,0 +1,552 @@
+#include "parser/parser.h"
+
+#include "util/str_util.h"
+
+namespace relopt {
+
+namespace {
+
+/// Recursive-descent parser over a token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<StatementPtr>> ParseAll() {
+    std::vector<StatementPtr> stmts;
+    while (!Peek().Is(TokenKind::kEnd)) {
+      if (Peek().IsSymbol(";")) {
+        Advance();
+        continue;
+      }
+      RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseOne());
+      stmts.push_back(std::move(stmt));
+    }
+    return stmts;
+  }
+
+  Result<StatementPtr> ParseOne() {
+    const Token& t = Peek();
+    if (t.IsWord("create")) return ParseCreate();
+    if (t.IsWord("insert")) return ParseInsert();
+    if (t.IsWord("select")) return ParseSelect();
+    if (t.IsWord("explain")) return ParseExplain();
+    if (t.IsWord("analyze")) return ParseAnalyze();
+    if (t.IsWord("delete")) return ParseDelete();
+    if (t.IsWord("update")) return ParseUpdate();
+    return Error("expected a statement, got '" + t.text + "'");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool MatchWord(const char* word) {
+    if (Peek().IsWord(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectWord(const char* word) {
+    if (!MatchWord(word)) {
+      return Status::ParseError(std::string("expected '") + word + "', got '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::ParseError(std::string("expected '") + sym + "', got '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(Peek().position));
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!Peek().Is(TokenKind::kIdentifier)) {
+      return Status::ParseError(std::string("expected ") + what + ", got '" + Peek().text +
+                                "' at offset " + std::to_string(Peek().position));
+    }
+    return Advance().text;
+  }
+
+  /// True for identifiers that are reserved as clause keywords and therefore
+  /// cannot start/continue an alias.
+  static bool IsReservedWord(const Token& t) {
+    static const char* kReserved[] = {"select", "from",  "where", "group", "having", "order",
+                                      "limit",  "join",  "on",    "and",   "or",     "not",
+                                      "as",     "inner", "by",    "asc",   "desc",   "values",
+                                      "union",  "cross"};
+    for (const char* w : kReserved) {
+      if (t.IsWord(w)) return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------ statements
+
+  Result<StatementPtr> ParseCreate() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("create"));
+    bool clustered = MatchWord("clustered");
+    if (MatchWord("table")) {
+      if (clustered) return Error("CLUSTERED applies to indexes, not tables");
+      auto stmt = std::make_unique<CreateTableStmt>();
+      RELOPT_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      do {
+        ColumnDef def;
+        RELOPT_ASSIGN_OR_RETURN(def.name, ExpectIdentifier("column name"));
+        RELOPT_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier("column type"));
+        if (!ParseTypeName(type_name, &def.type)) {
+          return Error("unknown type '" + type_name + "'");
+        }
+        stmt->columns.push_back(std::move(def));
+      } while (MatchSymbol(","));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return StatementPtr(std::move(stmt));
+    }
+    if (MatchWord("index")) {
+      auto stmt = std::make_unique<CreateIndexStmt>();
+      stmt->clustered = clustered;
+      RELOPT_ASSIGN_OR_RETURN(stmt->index_name, ExpectIdentifier("index name"));
+      RELOPT_RETURN_NOT_OK(ExpectWord("on"));
+      RELOPT_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      do {
+        RELOPT_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt->columns.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return StatementPtr(std::move(stmt));
+    }
+    return Error("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<StatementPtr> ParseInsert() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("insert"));
+    RELOPT_RETURN_NOT_OK(ExpectWord("into"));
+    auto stmt = std::make_unique<InsertStmt>();
+    RELOPT_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    if (MatchSymbol("(")) {
+      do {
+        RELOPT_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt->columns.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    RELOPT_RETURN_NOT_OK(ExpectWord("values"));
+    do {
+      RELOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        RELOPT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+        row.push_back(std::move(e));
+      } while (MatchSymbol(","));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (MatchSymbol(","));
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<StatementPtr> ParseExplain() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("explain"));
+    auto stmt = std::make_unique<ExplainStmt>();
+    stmt->analyze = MatchWord("analyze");
+    RELOPT_ASSIGN_OR_RETURN(stmt->inner, ParseSelect());
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<StatementPtr> ParseAnalyze() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("analyze"));
+    auto stmt = std::make_unique<AnalyzeStmt>();
+    if (Peek().Is(TokenKind::kIdentifier)) {
+      stmt->table_name = Advance().text;
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<StatementPtr> ParseDelete() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("delete"));
+    RELOPT_RETURN_NOT_OK(ExpectWord("from"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    RELOPT_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    if (MatchWord("where")) {
+      RELOPT_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<StatementPtr> ParseUpdate() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("update"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    RELOPT_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    RELOPT_RETURN_NOT_OK(ExpectWord("set"));
+    do {
+      RELOPT_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol("="));
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+      stmt->assignments.emplace_back(std::move(col), std::move(value));
+    } while (MatchSymbol(","));
+    if (MatchWord("where")) {
+      RELOPT_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<StatementPtr> ParseSelect() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (MatchWord("distinct")) {
+      stmt->distinct = true;
+    } else {
+      MatchWord("all");
+    }
+
+    // Select list.
+    do {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.is_star = true;
+      } else {
+        RELOPT_ASSIGN_OR_RETURN(item.expr, ParseExpression());
+        if (MatchWord("as")) {
+          RELOPT_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+        } else if (Peek().Is(TokenKind::kIdentifier) && !IsReservedWord(Peek())) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+
+    // FROM with comma and JOIN ... ON forms.
+    std::vector<ExprPtr> join_conds;
+    if (MatchWord("from")) {
+      RELOPT_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+      stmt->from.push_back(std::move(first));
+      while (true) {
+        if (MatchSymbol(",")) {
+          RELOPT_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+          stmt->from.push_back(std::move(ref));
+          continue;
+        }
+        bool cross = false;
+        if (Peek().IsWord("cross") && Peek(1).IsWord("join")) {
+          Advance();
+          Advance();
+          cross = true;
+        } else if (Peek().IsWord("inner") && Peek(1).IsWord("join")) {
+          Advance();
+          Advance();
+        } else if (Peek().IsWord("join")) {
+          Advance();
+        } else {
+          break;
+        }
+        RELOPT_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        stmt->from.push_back(std::move(ref));
+        if (!cross) {
+          RELOPT_RETURN_NOT_OK(ExpectWord("on"));
+          RELOPT_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpression());
+          join_conds.push_back(std::move(cond));
+        }
+      }
+    }
+
+    if (MatchWord("where")) {
+      RELOPT_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
+    }
+    // Fold ON conditions into WHERE (inner-join semantics).
+    for (ExprPtr& cond : join_conds) {
+      stmt->where = stmt->where ? MakeAnd(std::move(stmt->where), std::move(cond))
+                                : std::move(cond);
+    }
+
+    if (MatchWord("group")) {
+      RELOPT_RETURN_NOT_OK(ExpectWord("by"));
+      do {
+        RELOPT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+        stmt->group_by.push_back(std::move(e));
+      } while (MatchSymbol(","));
+    }
+    if (MatchWord("having")) {
+      RELOPT_ASSIGN_OR_RETURN(stmt->having, ParseExpression());
+    }
+    if (MatchWord("order")) {
+      RELOPT_RETURN_NOT_OK(ExpectWord("by"));
+      do {
+        OrderByItem item;
+        RELOPT_ASSIGN_OR_RETURN(item.expr, ParseExpression());
+        if (MatchWord("desc")) {
+          item.desc = true;
+        } else {
+          MatchWord("asc");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchWord("limit")) {
+      if (!Peek().Is(TokenKind::kIntLiteral)) return Error("expected integer after LIMIT");
+      stmt->limit = Advance().int_value;
+    }
+    return StatementPtr(std::move(stmt));
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    RELOPT_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    if (MatchWord("as")) {
+      RELOPT_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
+    } else if (Peek().Is(TokenKind::kIdentifier) && !IsReservedWord(Peek())) {
+      ref.alias = Advance().text;
+    }
+    if (ref.alias.empty()) ref.alias = ref.table_name;
+    return ref;
+  }
+
+  // ----------------------------------------------------------- expressions
+
+  Result<ExprPtr> ParseExpression() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    RELOPT_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (MatchWord("or")) {
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RELOPT_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (Peek().IsWord("and")) {
+      Advance();
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchWord("not")) {
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return MakeNot(std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    RELOPT_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+    // IS [NOT] NULL
+    if (Peek().IsWord("is")) {
+      Advance();
+      bool negated = MatchWord("not");
+      RELOPT_RETURN_NOT_OK(ExpectWord("null"));
+      return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), negated));
+    }
+
+    // [NOT] BETWEEN a AND b / [NOT] IN (v, ...)
+    bool negate = false;
+    if (Peek().IsWord("not") && (Peek(1).IsWord("between") || Peek(1).IsWord("in"))) {
+      Advance();
+      negate = true;
+    }
+    if (MatchWord("between")) {
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      RELOPT_RETURN_NOT_OK(ExpectWord("and"));
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr ge = MakeComparison(CompareOp::kGe, left->Clone(), std::move(lo));
+      ExprPtr le = MakeComparison(CompareOp::kLe, std::move(left), std::move(hi));
+      ExprPtr both = MakeAnd(std::move(ge), std::move(le));
+      return negate ? MakeNot(std::move(both)) : std::move(both);
+    }
+    if (MatchWord("in")) {
+      RELOPT_RETURN_NOT_OK(ExpectSymbol("("));
+      ExprPtr disjunction;
+      do {
+        RELOPT_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+        ExprPtr eq = MakeComparison(CompareOp::kEq, left->Clone(), std::move(v));
+        disjunction = disjunction ? MakeOr(std::move(disjunction), std::move(eq)) : std::move(eq);
+      } while (MatchSymbol(","));
+      RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return negate ? MakeNot(std::move(disjunction)) : std::move(disjunction);
+    }
+
+    // Plain comparison operators.
+    CompareOp op;
+    if (MatchSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (MatchSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (MatchSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (MatchSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (MatchSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (MatchSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return left;
+    }
+    RELOPT_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return MakeComparison(op, std::move(left), std::move(right));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    RELOPT_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      ArithOp op;
+      if (MatchSymbol("+")) {
+        op = ArithOp::kAdd;
+      } else if (MatchSymbol("-")) {
+        op = ArithOp::kSub;
+      } else {
+        return left;
+      }
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = std::make_unique<ArithmeticExpr>(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    RELOPT_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      ArithOp op;
+      if (MatchSymbol("*")) {
+        op = ArithOp::kMul;
+      } else if (MatchSymbol("/")) {
+        op = ArithOp::kDiv;
+      } else if (MatchSymbol("%")) {
+        op = ArithOp::kMod;
+      } else {
+        return left;
+      }
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = std::make_unique<ArithmeticExpr>(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      // Fold -literal immediately so negative literals are simple.
+      if (child->kind() == ExprKind::kLiteral) {
+        const Value& v = static_cast<LiteralExpr*>(child.get())->value();
+        if (!v.is_null() && v.type() == TypeId::kInt64) return MakeLiteral(Value::Int(-v.AsInt()));
+        if (!v.is_null() && v.type() == TypeId::kDouble) {
+          return MakeLiteral(Value::Double(-v.AsDouble()));
+        }
+      }
+      return ExprPtr(std::make_unique<ArithmeticExpr>(ArithOp::kSub,
+                                                      MakeLiteral(Value::Int(0)),
+                                                      std::move(child)));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kIntLiteral)) {
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    }
+    if (t.Is(TokenKind::kDoubleLiteral)) {
+      Advance();
+      return MakeLiteral(Value::Double(t.double_value));
+    }
+    if (t.Is(TokenKind::kStringLiteral)) {
+      Advance();
+      return MakeLiteral(Value::String(t.text));
+    }
+    if (t.IsSymbol("(")) {
+      Advance();
+      RELOPT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+      RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    if (t.Is(TokenKind::kIdentifier)) {
+      if (t.IsWord("null")) {
+        Advance();
+        return MakeLiteral(Value::Null());
+      }
+      if (t.IsWord("true")) {
+        Advance();
+        return MakeLiteral(Value::Bool(true));
+      }
+      if (t.IsWord("false")) {
+        Advance();
+        return MakeLiteral(Value::Bool(false));
+      }
+      // Aggregate call?
+      std::optional<AggFunc> agg;
+      if (t.IsWord("count")) agg = AggFunc::kCount;
+      if (t.IsWord("sum")) agg = AggFunc::kSum;
+      if (t.IsWord("min")) agg = AggFunc::kMin;
+      if (t.IsWord("max")) agg = AggFunc::kMax;
+      if (t.IsWord("avg")) agg = AggFunc::kAvg;
+      if (agg.has_value() && Peek(1).IsSymbol("(")) {
+        Advance();  // name
+        Advance();  // (
+        if (*agg == AggFunc::kCount && MatchSymbol("*")) {
+          RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+          return ExprPtr(std::make_unique<AggregateCallExpr>(AggFunc::kCountStar, nullptr));
+        }
+        RELOPT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpression());
+        RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+        return ExprPtr(std::make_unique<AggregateCallExpr>(*agg, std::move(arg)));
+      }
+      // Column reference: ident or ident.ident. Reserved clause keywords
+      // cannot name columns (catches "SELECT FROM t" and friends).
+      if (IsReservedWord(t)) {
+        return Error("unexpected keyword '" + t.text + "' in expression");
+      }
+      Advance();
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        RELOPT_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        return MakeColumnRef(t.text, std::move(col));
+      }
+      return MakeColumnRef("", t.text);
+    }
+    return Error("expected an expression, got '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<StatementPtr>> ParseScript(const std::string& sql) {
+  RELOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+Result<StatementPtr> ParseStatement(const std::string& sql) {
+  RELOPT_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
+  if (stmts.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace relopt

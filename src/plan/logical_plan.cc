@@ -1,0 +1,79 @@
+#include "plan/logical_plan.h"
+
+namespace relopt {
+
+namespace {
+void Render(const LogicalNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.Describe();
+  *out += "\n";
+  for (const LogicalPtr& child : node.children()) {
+    Render(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string LogicalNode::ToString() const {
+  std::string out;
+  Render(*this, 0, &out);
+  return out;
+}
+
+std::string LogicalScan::Describe() const {
+  std::string out = "Scan " + table_name_;
+  if (alias_ != table_name_) out += " AS " + alias_;
+  return out;
+}
+
+std::string LogicalFilter::Describe() const {
+  return "Filter " + (predicate_ ? predicate_->ToString() : "true");
+}
+
+std::string LogicalProject::Describe() const {
+  std::string out = "Project ";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out;
+}
+
+std::string LogicalJoin::Describe() const {
+  return predicate_ ? "Join " + predicate_->ToString() : "CrossJoin";
+}
+
+std::string LogicalAggregate::Describe() const {
+  std::string out = "Aggregate";
+  if (!group_by_.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < group_by_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by_[i]->ToString();
+    }
+  }
+  out += " [";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs_[i].out_name;
+  }
+  out += "]";
+  return out;
+}
+
+std::string LogicalSort::Describe() const {
+  std::string out = "Sort ";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    if (keys_[i].desc) out += " DESC";
+  }
+  return out;
+}
+
+std::string LogicalLimit::Describe() const { return "Limit " + std::to_string(limit_); }
+
+std::string LogicalValues::Describe() const {
+  return "Values (" + std::to_string(rows_.size()) + " rows)";
+}
+
+}  // namespace relopt

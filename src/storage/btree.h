@@ -1,0 +1,127 @@
+// BTree: a page-backed B+tree index mapping encoded keys to RIDs.
+//
+// Keys are order-preserving byte strings (see types/key_codec.h), so all
+// comparisons are memcmp. Duplicate keys are allowed. Every node visit goes
+// through the buffer pool, so index I/O is accounted like any other page
+// access — which is what the access-path cost experiments measure.
+//
+// Simplifications (documented in DESIGN.md):
+//  * Delete removes entries without rebalancing (underflow allowed).
+//  * Single-threaded; no latching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// \brief B+tree over (encoded key, RID) pairs.
+class BTree {
+ public:
+  /// Opens a tree over an existing file (page 0 is the meta page).
+  BTree(BufferPool* pool, FileId file_id);
+
+  /// Creates a new file with an empty tree (meta page + empty root leaf).
+  static Result<BTree> Create(BufferPool* pool);
+
+  FileId file_id() const { return file_id_; }
+
+  /// Inserts (key, rid). Duplicates are allowed.
+  Status Insert(const std::string& key, Rid rid);
+
+  /// Removes one entry equal to (key, rid). NotFound if absent.
+  Status Delete(const std::string& key, Rid rid);
+
+  /// All RIDs whose key equals `key`.
+  Result<std::vector<Rid>> SearchEqual(const std::string& key);
+
+  /// Tree height in levels (1 = just a root leaf). Used by the cost model.
+  Result<int> Height();
+
+  /// Total number of entries (leaf walk; O(leaves)).
+  Result<size_t> NumEntries();
+
+  /// Number of leaf pages (leaf walk). The cost model uses this.
+  Result<size_t> NumLeafPages();
+
+  /// Checks structural invariants (key order within and across nodes,
+  /// child separator bounds). For tests.
+  Status CheckIntegrity();
+
+ private:
+  /// In-memory decoded node.
+  struct Node {
+    bool is_leaf = true;
+    PageNo next = kInvalidPageNo;        // leaf sibling chain
+    PageNo leftmost_child = kInvalidPageNo;  // internal only
+    struct Entry {
+      std::string key;
+      Rid rid;        // leaf payload
+      PageNo child = kInvalidPageNo;  // internal payload
+    };
+    std::vector<Entry> entries;
+
+    size_t SerializedSize() const;
+  };
+
+ public:
+  /// \brief Forward iterator over a key range.
+  ///
+  /// Bounds are encoded keys; empty optional = unbounded on that side.
+  /// `lo_inclusive`/`hi_inclusive` control closed/open ends.
+  class Iterator {
+   public:
+    /// Positions at the first entry >= lo (or > lo if exclusive).
+    static Result<Iterator> Seek(BTree* tree, std::optional<std::string> lo, bool lo_inclusive,
+                                 std::optional<std::string> hi, bool hi_inclusive);
+
+    /// Advances; returns false when the range is exhausted.
+    Result<bool> Next(std::string* key, Rid* rid);
+
+   private:
+    Iterator(BTree* tree, std::optional<std::string> hi, bool hi_inclusive)
+        : tree_(tree), hi_(std::move(hi)), hi_inclusive_(hi_inclusive) {}
+
+    BTree* tree_ = nullptr;
+    PageNo leaf_ = kInvalidPageNo;
+    size_t pos_ = 0;
+    std::optional<std::string> hi_;
+    bool hi_inclusive_ = true;
+    // Decoded current leaf; avoids re-parsing the page per entry. Valid only
+    // while no inserts/deletes interleave with the scan (single-threaded
+    // engine invariant).
+    std::optional<Node> cached_;
+  };
+
+ private:
+  friend class Iterator;
+
+  Result<PageNo> RootPage();
+  Status SetRootPage(PageNo root);
+
+  Result<Node> LoadNode(PageNo page_no);
+  Status StoreNode(PageNo page_no, const Node& node);
+  Result<PageNo> AllocateNode(const Node& node);
+
+  /// Descends to the leaf that should contain `key`; records the path of
+  /// internal pages in `path` (root first) and the child index taken.
+  Result<PageNo> FindLeaf(const std::string& key, std::vector<std::pair<PageNo, size_t>>* path);
+
+  /// Splits an over-full node stored at `page_no`; returns the separator key
+  /// and the new right sibling's page.
+  Result<std::pair<std::string, PageNo>> SplitNode(PageNo page_no, Node* node);
+
+  Status CheckNode(PageNo page_no, const std::string* lo, const std::string* hi, bool is_root,
+                   int depth, int* leaf_depth);
+
+  BufferPool* pool_;
+  FileId file_id_;
+};
+
+}  // namespace relopt

@@ -1,0 +1,164 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace relopt {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk), capacity_(capacity) {
+  RELOPT_DCHECK(capacity >= 1);
+}
+
+BufferPool::~BufferPool() {
+  Status st = FlushAll();
+  if (!st.ok()) {
+    RELOPT_LOG(kError) << "FlushAll on destruction failed: " << st.ToString();
+  }
+}
+
+void BufferPool::TouchLru(PageId page_id) {
+  auto it = lru_pos_.find(page_id);
+  if (it != lru_pos_.end()) {
+    lru_.erase(it->second);
+  }
+  lru_.push_front(page_id);
+  lru_pos_[page_id] = lru_.begin();
+}
+
+Status BufferPool::EvictFrame(PageId page_id) {
+  auto it = frames_.find(page_id);
+  RELOPT_DCHECK(it != frames_.end());
+  PageFrame* frame = it->second.get();
+  if (frame->dirty_) {
+    RELOPT_RETURN_NOT_OK(disk_->WritePage(page_id, frame->data()));
+    stats_.dirty_writebacks++;
+  }
+  auto pos = lru_pos_.find(page_id);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+    lru_pos_.erase(pos);
+  }
+  frames_.erase(it);
+  stats_.evictions++;
+  return Status::OK();
+}
+
+Status BufferPool::EnsureCapacity() {
+  if (frames_.size() < capacity_) return Status::OK();
+  // Find the LRU unpinned frame (back of list = least recent).
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    auto fit = frames_.find(*it);
+    if (fit != frames_.end() && fit->second->pin_count_ == 0) {
+      return EvictFrame(*it);
+    }
+  }
+  return Status::ResourceExhausted("buffer pool full: all " + std::to_string(capacity_) +
+                                   " frames pinned");
+}
+
+Result<PageFrame*> BufferPool::FetchPage(PageId page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    stats_.hits++;
+    it->second->pin_count_++;
+    TouchLru(page_id);
+    return it->second.get();
+  }
+  stats_.misses++;
+  RELOPT_RETURN_NOT_OK(EnsureCapacity());
+  auto frame = std::make_unique<PageFrame>();
+  frame->page_id_ = page_id;
+  frame->data_ = std::make_unique<char[]>(kPageSize);
+  RELOPT_RETURN_NOT_OK(disk_->ReadPage(page_id, frame->data_.get()));
+  frame->pin_count_ = 1;
+  PageFrame* raw = frame.get();
+  frames_[page_id] = std::move(frame);
+  TouchLru(page_id);
+  return raw;
+}
+
+Result<PageFrame*> BufferPool::NewPage(FileId file_id) {
+  RELOPT_ASSIGN_OR_RETURN(PageNo page_no, disk_->AllocatePage(file_id));
+  PageId page_id{file_id, page_no};
+  RELOPT_RETURN_NOT_OK(EnsureCapacity());
+  auto frame = std::make_unique<PageFrame>();
+  frame->page_id_ = page_id;
+  frame->data_ = std::make_unique<char[]>(kPageSize);
+  std::memset(frame->data_.get(), 0, kPageSize);
+  frame->pin_count_ = 1;
+  frame->dirty_ = true;  // a new page must reach disk even if untouched
+  PageFrame* raw = frame.get();
+  frames_[page_id] = std::move(frame);
+  TouchLru(page_id);
+  return raw;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) {
+    return Status::NotFound("unpin of uncached page " + page_id.ToString());
+  }
+  PageFrame* frame = it->second.get();
+  if (frame->pin_count_ <= 0) {
+    return Status::Internal("unpin of unpinned page " + page_id.ToString());
+  }
+  frame->pin_count_--;
+  frame->dirty_ = frame->dirty_ || dirty;
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) return Status::OK();
+  PageFrame* frame = it->second.get();
+  if (frame->dirty_) {
+    RELOPT_RETURN_NOT_OK(disk_->WritePage(page_id, frame->data()));
+    frame->dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty_) {
+      RELOPT_RETURN_NOT_OK(disk_->WritePage(id, frame->data()));
+      frame->dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropFilePages(FileId file_id) {
+  std::vector<PageId> to_drop;
+  for (auto& [id, frame] : frames_) {
+    if (id.file_id != file_id) continue;
+    if (frame->pin_count_ != 0) {
+      return Status::Internal("dropping pages of file " + std::to_string(file_id) +
+                              " while page " + id.ToString() + " is pinned");
+    }
+    to_drop.push_back(id);
+  }
+  for (PageId id : to_drop) {
+    auto pos = lru_pos_.find(id);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    frames_.erase(id);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  std::vector<PageId> unpinned;
+  for (auto& [id, frame] : frames_) {
+    if (frame->pin_count_ == 0) unpinned.push_back(id);
+  }
+  for (PageId id : unpinned) {
+    RELOPT_RETURN_NOT_OK(EvictFrame(id));
+  }
+  return Status::OK();
+}
+
+}  // namespace relopt

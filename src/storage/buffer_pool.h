@@ -1,0 +1,127 @@
+// BufferPool: fixed-size page cache with LRU replacement and hit/miss stats.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// Cache effectiveness counters.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;   // page faults -> disk reads
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// \brief A frame handed out by the buffer pool. Pin with Fetch/New, unpin
+/// when done; the pool evicts only unpinned frames (LRU).
+class PageFrame {
+ public:
+  PageId page_id() const { return page_id_; }
+  char* data() { return data_.get(); }
+  const char* data() const { return data_.get(); }
+
+ private:
+  friend class BufferPool;
+  PageId page_id_;
+  std::unique_ptr<char[]> data_;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+/// \brief Page cache in front of the DiskManager.
+///
+/// The pool is the engine's memory budget: join and sort operators size their
+/// in-memory working sets from `capacity()`, so varying the pool capacity
+/// reproduces the buffer-size experiments. Single-threaded.
+class BufferPool {
+ public:
+  /// `capacity` is in pages.
+  BufferPool(DiskManager* disk, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page, pinning it. Miss -> one disk read (+ possible dirty
+  /// write-back on eviction). Fails with ResourceExhausted if every frame is
+  /// pinned.
+  Result<PageFrame*> FetchPage(PageId page_id);
+
+  /// Allocates a new page in `file_id` and returns it pinned and zeroed.
+  Result<PageFrame*> NewPage(FileId file_id);
+
+  /// Unpins; `dirty` marks the frame for write-back on eviction/flush.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes back a page if dirty. No-op if not cached.
+  Status FlushPage(PageId page_id);
+
+  /// Writes back all dirty pages (does not evict).
+  Status FlushAll();
+
+  /// Drops all unpinned frames (writing back dirty ones). For tests and for
+  /// resetting cache state between benchmark runs.
+  Status EvictAll();
+
+  /// Discards every cached frame of `file_id` WITHOUT write-back. Call when
+  /// deleting a file; frames must be unpinned.
+  Status DropFilePages(FileId file_id);
+
+  size_t capacity() const { return capacity_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats{}; }
+  DiskManager* disk() const { return disk_; }
+
+  /// Number of frames currently cached (for tests).
+  size_t NumCached() const { return frames_.size(); }
+
+ private:
+  /// Makes room for one more frame; evicts the LRU unpinned frame if full.
+  Status EnsureCapacity();
+  Status EvictFrame(PageId page_id);
+  void TouchLru(PageId page_id);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<PageFrame>, PageIdHash> frames_;
+  // LRU list of unpinned-or-pinned pages; front = most recent.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_pos_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: unpins on destruction.
+class PinGuard {
+ public:
+  PinGuard(BufferPool* pool, PageFrame* frame, bool dirty = false)
+      : pool_(pool), frame_(frame), dirty_(dirty) {}
+  ~PinGuard() {
+    if (pool_ && frame_) pool_->UnpinPage(frame_->page_id(), dirty_);
+  }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+  PinGuard(PinGuard&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_), dirty_(other.dirty_) {
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+
+  void MarkDirty() { dirty_ = true; }
+  PageFrame* frame() const { return frame_; }
+
+ private:
+  BufferPool* pool_;
+  PageFrame* frame_;
+  bool dirty_;
+};
+
+}  // namespace relopt

@@ -1,0 +1,100 @@
+#include "storage/heap_file.h"
+
+#include "storage/slotted_page.h"
+
+namespace relopt {
+
+HeapFile::HeapFile(BufferPool* pool, FileId file_id) : pool_(pool), file_id_(file_id) {
+  size_t pages = pool_->disk()->NumPages(file_id_);
+  if (pages > 0) insert_hint_ = static_cast<PageNo>(pages - 1);
+}
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool) {
+  FileId id = pool->disk()->CreateFile();
+  return HeapFile(pool, id);
+}
+
+size_t HeapFile::NumPages() const { return pool_->disk()->NumPages(file_id_); }
+
+Result<Rid> HeapFile::Insert(std::string_view record) {
+  // Try the hint page first.
+  if (insert_hint_ != kInvalidPageNo) {
+    PageId pid{file_id_, insert_hint_};
+    RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->FetchPage(pid));
+    SlottedPage page(frame->data());
+    if (page.HasRoomFor(record.size())) {
+      Result<uint16_t> slot = page.Insert(record);
+      RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, slot.ok()));
+      if (slot.ok()) return Rid{insert_hint_, *slot};
+      return slot.status();
+    }
+    RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, false));
+  }
+  // Allocate a fresh page.
+  RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->NewPage(file_id_));
+  PageId pid = frame->page_id();
+  SlottedPage page(frame->data());
+  page.Init();
+  Result<uint16_t> slot = page.Insert(record);
+  RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, true));
+  RELOPT_RETURN_NOT_OK(slot.status());
+  insert_hint_ = pid.page_no;
+  return Rid{pid.page_no, *slot};
+}
+
+Result<std::string> HeapFile::Get(Rid rid) const {
+  PageId pid{file_id_, rid.page_no};
+  RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->FetchPage(pid));
+  SlottedPage page(frame->data());
+  Result<std::string_view> rec = page.Get(rid.slot);
+  std::string out;
+  if (rec.ok()) out = std::string(*rec);
+  RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, false));
+  RELOPT_RETURN_NOT_OK(rec.status());
+  return out;
+}
+
+Status HeapFile::Delete(Rid rid) {
+  PageId pid{file_id_, rid.page_no};
+  RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->FetchPage(pid));
+  SlottedPage page(frame->data());
+  Status st = page.Delete(rid.slot);
+  RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, st.ok()));
+  return st;
+}
+
+HeapFile::Iterator::Iterator(const HeapFile* heap) : heap_(heap) {}
+
+void HeapFile::Iterator::Reset() {
+  page_no_ = 0;
+  slot_ = 0;
+}
+
+Result<bool> HeapFile::Iterator::Next(Rid* rid, std::string* record) {
+  size_t num_pages = heap_->NumPages();
+  while (page_no_ < num_pages) {
+    PageId pid{heap_->file_id_, page_no_};
+    RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, heap_->pool_->FetchPage(pid));
+    SlottedPage page(frame->data());
+    uint16_t num_slots = page.NumSlots();
+    while (slot_ < num_slots) {
+      uint16_t s = slot_++;
+      if (!page.IsLive(s)) continue;
+      Result<std::string_view> rec = page.Get(s);
+      if (!rec.ok()) {
+        RELOPT_RETURN_NOT_OK(heap_->pool_->UnpinPage(pid, false));
+        return rec.status();
+      }
+      *record = std::string(*rec);
+      *rid = Rid{page_no_, s};
+      RELOPT_RETURN_NOT_OK(heap_->pool_->UnpinPage(pid, false));
+      return true;
+    }
+    RELOPT_RETURN_NOT_OK(heap_->pool_->UnpinPage(pid, false));
+    page_no_++;
+    slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace relopt

@@ -1,0 +1,73 @@
+// HeapFile: unordered collection of records in slotted pages.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// \brief A heap of variable-length records over one DiskManager file.
+///
+/// Records are appended to the last page with room (append-only placement —
+/// the classic heap organization the foundational cost models assume, where
+/// |pages| ~= N · record_size / page_size). Deletes leave holes.
+class HeapFile {
+ public:
+  /// Opens (or starts) a heap over `file_id`, which must exist in the disk
+  /// manager. A brand-new file gets its first page lazily on insert.
+  HeapFile(BufferPool* pool, FileId file_id);
+
+  /// Creates a new file in `disk` and a heap over it.
+  static Result<HeapFile> Create(BufferPool* pool);
+
+  FileId file_id() const { return file_id_; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Number of pages in the heap.
+  size_t NumPages() const;
+
+  /// Inserts a record, returning its RID.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Reads the record at `rid` into an owned string.
+  Result<std::string> Get(Rid rid) const;
+
+  /// Deletes the record at `rid`.
+  Status Delete(Rid rid);
+
+  /// \brief Forward scanner over all live records, page at a time.
+  ///
+  /// Usage:
+  ///   HeapFile::Iterator it(heap);
+  ///   while (true) {
+  ///     RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+  ///     if (!has) break; ...
+  ///   }
+  class Iterator {
+   public:
+    explicit Iterator(const HeapFile* heap);
+
+    /// Advances to the next live record. Returns false at end.
+    Result<bool> Next(Rid* rid, std::string* record);
+
+    /// Restarts the scan from the beginning.
+    void Reset();
+
+   private:
+    const HeapFile* heap_;
+    PageNo page_no_ = 0;
+    uint16_t slot_ = 0;
+  };
+
+ private:
+  BufferPool* pool_;
+  FileId file_id_;
+  // Hint: page most likely to have room (last page we inserted into).
+  PageNo insert_hint_ = kInvalidPageNo;
+};
+
+}  // namespace relopt

@@ -1,0 +1,88 @@
+#include "types/key_codec.h"
+
+#include <cstring>
+
+namespace relopt {
+
+namespace {
+constexpr char kNullTag = 0x00;
+constexpr char kBoolTag = 0x01;
+constexpr char kNumTag = 0x02;
+constexpr char kStrTag = 0x03;
+
+/// Maps a double to a uint64 whose unsigned big-endian byte order matches the
+/// double's numeric order (IEEE-754 total-order trick; NaNs map above +inf).
+uint64_t DoubleToRank(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  if (bits & (uint64_t{1} << 63)) {
+    return ~bits;  // negative: flip all bits
+  }
+  return bits | (uint64_t{1} << 63);  // positive: set sign bit
+}
+
+void AppendBigEndian64(uint64_t v, std::string* out) {
+  for (int i = 7; i >= 0; --i) {
+    out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
+  }
+}
+}  // namespace
+
+void EncodeKeyValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back(kNullTag);
+    return;
+  }
+  switch (v.type()) {
+    case TypeId::kBool:
+      out->push_back(kBoolTag);
+      out->push_back(v.AsBool() ? 1 : 0);
+      return;
+    case TypeId::kInt64:
+    case TypeId::kDouble: {
+      out->push_back(kNumTag);
+      AppendBigEndian64(DoubleToRank(v.NumericAsDouble()), out);
+      return;
+    }
+    case TypeId::kString: {
+      out->push_back(kStrTag);
+      for (char c : v.AsString()) {
+        if (c == '\0') {
+          out->push_back('\0');
+          out->push_back(static_cast<char>(0xFF));
+        } else {
+          out->push_back(c);
+        }
+      }
+      out->push_back('\0');
+      out->push_back('\0');
+      return;
+    }
+  }
+}
+
+std::string EncodeKey(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) EncodeKeyValue(v, &out);
+  return out;
+}
+
+std::string EncodeKeyFromTuple(const Tuple& tuple, const std::vector<size_t>& key_columns) {
+  std::string out;
+  for (size_t c : key_columns) EncodeKeyValue(tuple.At(c), &out);
+  return out;
+}
+
+std::string PrefixSuccessor(std::string prefix) {
+  while (!prefix.empty()) {
+    unsigned char last = static_cast<unsigned char>(prefix.back());
+    if (last != 0xFF) {
+      prefix.back() = static_cast<char>(last + 1);
+      return prefix;
+    }
+    prefix.pop_back();
+  }
+  return prefix;  // empty: no successor (scan to end)
+}
+
+}  // namespace relopt

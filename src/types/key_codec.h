@@ -1,0 +1,42 @@
+// Order-preserving key encoding: Values -> memcmp-comparable byte strings.
+//
+// This lets the B+tree (and external sort's run merger) compare composite
+// keys of any type with plain memcmp, the classic technique used by storage
+// engines (e.g. MyRocks, CockroachDB key encodings).
+//
+// Encoding per value:
+//   NULL    -> 0x00
+//   bool    -> 0x01 then 0x00/0x01
+//   numeric -> 0x02 then 8-byte big-endian "rank" of the double value
+//              (int64 encodes as the same rank as its double value, so mixed
+//               int/double composite keys order correctly; exact int ordering
+//               beyond 2^53 is not needed by the toy engine and is documented)
+//   string  -> 0x03 then bytes with 0x00 escaped as 0x00 0xFF, terminated by
+//              0x00 0x00 (standard escape so 'a' < 'ab' and embedded NULs work)
+//
+// NULL sorts before everything, matching Value::Compare.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace relopt {
+
+/// Appends the order-preserving encoding of `v` to `out`.
+void EncodeKeyValue(const Value& v, std::string* out);
+
+/// Encodes a composite key.
+std::string EncodeKey(const std::vector<Value>& values);
+
+/// Encodes a composite key from selected columns of a tuple.
+std::string EncodeKeyFromTuple(const Tuple& tuple, const std::vector<size_t>& key_columns);
+
+/// Successor of a key prefix: smallest string strictly greater than every
+/// string having `prefix` as a prefix (appends 0xFF... semantics via
+/// increment). Used for prefix range scans.
+std::string PrefixSuccessor(std::string prefix);
+
+}  // namespace relopt

@@ -1,0 +1,49 @@
+// Tuple: one row of values, with page serialization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// \brief A row: an ordered vector of Values matching some Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t NumValues() const { return values_.size(); }
+  const Value& At(size_t i) const { return values_[i]; }
+  Value& MutableAt(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation (left row ++ right row), used by joins.
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  /// Serializes all values (self-describing tags; schema not required).
+  std::string Serialize() const;
+
+  /// Parses a tuple with `num_values` values from `data`.
+  static Result<Tuple> Deserialize(const std::string& data, size_t num_values);
+
+  /// "(1, 'x', NULL)".
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Lexicographic three-way comparison of two tuples over the given column
+/// indices and sort directions (true = descending).
+Result<int> CompareTuples(const Tuple& a, const Tuple& b, const std::vector<size_t>& keys,
+                          const std::vector<bool>& desc);
+
+}  // namespace relopt

@@ -1,0 +1,42 @@
+#include "types/type.h"
+
+#include "util/str_util.h"
+
+namespace relopt {
+
+const char* TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kDouble:
+      return "double";
+    case TypeId::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool ParseTypeName(const std::string& name, TypeId* out) {
+  std::string n = ToLower(name);
+  if (n == "int" || n == "integer" || n == "bigint" || n == "int64") {
+    *out = TypeId::kInt64;
+    return true;
+  }
+  if (n == "float" || n == "double" || n == "real" || n == "float64") {
+    *out = TypeId::kDouble;
+    return true;
+  }
+  if (n == "text" || n == "varchar" || n == "string" || n == "char") {
+    *out = TypeId::kString;
+    return true;
+  }
+  if (n == "bool" || n == "boolean") {
+    *out = TypeId::kBool;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace relopt

@@ -1,0 +1,34 @@
+// Scalar type system for the engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace relopt {
+
+/// Scalar column types supported by the engine. NULL is a property of a
+/// Value, not a type.
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// Stable lower-case name ("int64", "double", ...).
+const char* TypeIdToString(TypeId type);
+
+/// Parses a SQL type name (INT/INTEGER/BIGINT -> int64, FLOAT/DOUBLE/REAL ->
+/// double, TEXT/VARCHAR/STRING -> string, BOOL/BOOLEAN -> bool).
+/// Returns false if unknown.
+bool ParseTypeName(const std::string& name, TypeId* out);
+
+/// True if the type is int64 or double.
+inline bool IsNumeric(TypeId t) { return t == TypeId::kInt64 || t == TypeId::kDouble; }
+
+/// True if values of `a` and `b` can be compared (same type, or both numeric).
+inline bool AreComparable(TypeId a, TypeId b) {
+  return a == b || (IsNumeric(a) && IsNumeric(b));
+}
+
+}  // namespace relopt

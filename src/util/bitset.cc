@@ -1,0 +1,17 @@
+#include "util/bitset.h"
+
+namespace relopt {
+
+std::string JoinSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int i) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace relopt

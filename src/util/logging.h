@@ -1,0 +1,52 @@
+// Minimal leveled logging + assertion macros.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace relopt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Global log threshold; messages below it are dropped. Default kWarn so
+/// library users are not spammed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define RELOPT_LOG(level)                                                        \
+  (::relopt::LogLevel::level < ::relopt::GetLogLevel())                          \
+      ? (void)0                                                                  \
+      : ::relopt::internal::Voidify() &                                          \
+            ::relopt::internal::LogMessage(::relopt::LogLevel::level, __FILE__,  \
+                                           __LINE__)                             \
+                .stream()
+
+#define RELOPT_DCHECK(cond)                                                        \
+  (cond) ? (void)0                                                                \
+         : ::relopt::internal::Voidify() &                                        \
+               ::relopt::internal::LogMessage(::relopt::LogLevel::kFatal,         \
+                                              __FILE__, __LINE__)                 \
+                   .stream()                                                      \
+               << "Check failed: " #cond " "
+
+}  // namespace relopt

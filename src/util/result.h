@@ -1,0 +1,75 @@
+// Result<T>: a Status or a value, in the Arrow idiom.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace relopt {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Use `RELOPT_ASSIGN_OR_RETURN(auto v, Foo())` to unwrap in functions that
+/// themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like Arrow).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and asserts.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Arrow-style accessors.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+#define RELOPT_CONCAT_IMPL(a, b) a##b
+#define RELOPT_CONCAT(a, b) RELOPT_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define RELOPT_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto RELOPT_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!RELOPT_CONCAT(_res_, __LINE__).ok())                          \
+    return RELOPT_CONCAT(_res_, __LINE__).status();                  \
+  lhs = RELOPT_CONCAT(_res_, __LINE__).MoveValue()
+
+}  // namespace relopt

@@ -1,0 +1,61 @@
+// Deterministic random number generation for workloads and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relopt {
+
+/// \brief Deterministic 64-bit PRNG (xorshift128+) with distribution helpers.
+///
+/// Used by the workload generators and property tests so every experiment is
+/// reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Random ASCII lower-case string of the given length.
+  std::string RandomString(size_t length);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// \brief Zipf-distributed integer generator over [1, n].
+///
+/// Uses the standard inverse-CDF-over-precomputed-prefix method; skew = 0 is
+/// uniform, skew ~1 is classic Zipf. Deterministic given the Rng.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double skew);
+
+  /// Draws a value in [1, n]; rank 1 is most frequent.
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  uint64_t n_;
+  double skew_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace relopt

@@ -1,0 +1,115 @@
+// Status: error propagation without exceptions, in the Arrow/RocksDB idiom.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace relopt {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kResourceExhausted,
+  kParseError,
+  kBindError,
+  kTypeError,
+};
+
+/// Returns a stable human-readable name for a StatusCode (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// A Status is either OK (the common, cheap case: a single null pointer) or an
+/// error carrying a code and a message. All fallible public APIs in relopt
+/// return Status or Result<T>; exceptions are not used across module
+/// boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(const Status& other) : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) { other.state_ = nullptr; }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_;
+      other.state_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+  /// The status code; kOk for an OK status.
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// The error message; empty for an OK status.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Factory helpers -------------------------------------------------------
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) { return Status(StatusCode::kBindError, std::move(msg)); }
+  static Status TypeError(std::string msg) { return Status(StatusCode::kTypeError, std::move(msg)); }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : state_(new State{code, std::move(msg)}) {}
+
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  State* state_;  // nullptr means OK
+};
+
+/// Propagates a non-OK Status to the caller.
+#define RELOPT_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::relopt::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace relopt

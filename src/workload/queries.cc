@@ -1,0 +1,145 @@
+#include "workload/queries.h"
+
+#include <cmath>
+
+#include "workload/generator.h"
+
+namespace relopt {
+
+Result<std::string> BuildChainWorkload(Database* db, const JoinWorkloadSpec& spec) {
+  const int n = spec.num_relations;
+  // Sizes vary geometrically so join order matters.
+  std::vector<uint64_t> sizes;
+  double rows = static_cast<double>(spec.base_rows);
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(static_cast<uint64_t>(std::max(1.0, rows)));
+    rows *= spec.growth;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    TableSpec t;
+    t.name = spec.prefix + std::to_string(i);
+    t.num_rows = sizes[i];
+    t.seed = spec.seed + static_cast<uint64_t>(i);
+    t.columns.push_back(ColumnSpec::Serial("id"));
+    if (i + 1 < n) {
+      // FK into the next relation's serial id domain.
+      t.columns.push_back(
+          ColumnSpec::Uniform("fk", 0, static_cast<int64_t>(sizes[i + 1]) - 1));
+    } else {
+      t.columns.push_back(ColumnSpec::Uniform("fk", 0, 99));
+    }
+    t.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
+    RELOPT_RETURN_NOT_OK(GenerateTable(db, t));
+    if (spec.with_indexes) {
+      RELOPT_ASSIGN_OR_RETURN(
+          IndexInfo * idx,
+          db->catalog()->CreateIndex("idx_" + t.name + "_id", t.name, {"id"}, false));
+      (void)idx;
+    }
+  }
+
+  std::string sql = "SELECT count(*) FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    sql += spec.prefix + std::to_string(i);
+  }
+  sql += " WHERE ";
+  for (int i = 0; i + 1 < n; ++i) {
+    if (i > 0) sql += " AND ";
+    sql += spec.prefix + std::to_string(i) + ".fk = " + spec.prefix + std::to_string(i + 1) +
+           ".id";
+  }
+  return sql;
+}
+
+Result<std::string> BuildStarWorkload(Database* db, const JoinWorkloadSpec& spec) {
+  const int dims = spec.num_relations - 1;
+  // Dimensions of varying size.
+  std::vector<uint64_t> dim_sizes;
+  double rows = static_cast<double>(spec.dim_rows);
+  for (int i = 0; i < dims; ++i) {
+    dim_sizes.push_back(static_cast<uint64_t>(std::max(1.0, rows)));
+    rows *= spec.growth;
+  }
+
+  TableSpec fact;
+  fact.name = spec.prefix + "_fact";
+  fact.num_rows = spec.base_rows;
+  fact.seed = spec.seed;
+  fact.columns.push_back(ColumnSpec::Serial("id"));
+  for (int i = 0; i < dims; ++i) {
+    fact.columns.push_back(ColumnSpec::Uniform("d" + std::to_string(i), 0,
+                                               static_cast<int64_t>(dim_sizes[i]) - 1));
+  }
+  fact.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
+  RELOPT_RETURN_NOT_OK(GenerateTable(db, fact));
+
+  for (int i = 0; i < dims; ++i) {
+    TableSpec dim;
+    dim.name = spec.prefix + "_dim" + std::to_string(i);
+    dim.num_rows = dim_sizes[i];
+    dim.seed = spec.seed + 100 + static_cast<uint64_t>(i);
+    dim.columns.push_back(ColumnSpec::Serial("id"));
+    dim.columns.push_back(ColumnSpec::Uniform("attr", 0, 99));
+    RELOPT_RETURN_NOT_OK(GenerateTable(db, dim));
+    if (spec.with_indexes) {
+      RELOPT_ASSIGN_OR_RETURN(
+          IndexInfo * idx,
+          db->catalog()->CreateIndex("idx_" + dim.name + "_id", dim.name, {"id"}, false));
+      (void)idx;
+    }
+  }
+
+  std::string sql = "SELECT count(*) FROM " + fact.name;
+  for (int i = 0; i < dims; ++i) {
+    sql += ", " + spec.prefix + "_dim" + std::to_string(i);
+  }
+  sql += " WHERE ";
+  for (int i = 0; i < dims; ++i) {
+    if (i > 0) sql += " AND ";
+    sql += fact.name + ".d" + std::to_string(i) + " = " + spec.prefix + "_dim" +
+           std::to_string(i) + ".id";
+  }
+  return sql;
+}
+
+Result<std::string> BuildCliqueWorkload(Database* db, const JoinWorkloadSpec& spec) {
+  const int n = spec.num_relations;
+  std::vector<uint64_t> sizes;
+  double rows = static_cast<double>(spec.base_rows);
+  for (int i = 0; i < n; ++i) {
+    sizes.push_back(static_cast<uint64_t>(std::max(1.0, rows)));
+    rows *= spec.growth;
+  }
+  const int64_t domain = 200;  // shared join-key domain
+
+  for (int i = 0; i < n; ++i) {
+    TableSpec t;
+    t.name = spec.prefix + std::to_string(i);
+    t.num_rows = sizes[i];
+    t.seed = spec.seed + static_cast<uint64_t>(i);
+    t.columns.push_back(ColumnSpec::Serial("id"));
+    t.columns.push_back(ColumnSpec::Uniform("k", 0, domain - 1));
+    t.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
+    RELOPT_RETURN_NOT_OK(GenerateTable(db, t));
+  }
+
+  std::string sql = "SELECT count(*) FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    sql += spec.prefix + std::to_string(i);
+  }
+  sql += " WHERE ";
+  bool first = true;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!first) sql += " AND ";
+      sql += spec.prefix + std::to_string(i) + ".k = " + spec.prefix + std::to_string(j) + ".k";
+      first = false;
+    }
+  }
+  return sql;
+}
+
+}  // namespace relopt

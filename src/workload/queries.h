@@ -1,0 +1,38 @@
+// Join query/topology families for the optimizer experiments:
+// chain, star, and clique join graphs, sized by a single parameter n.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/database.h"
+
+namespace relopt {
+
+/// Parameters shared by the topology builders.
+struct JoinWorkloadSpec {
+  int num_relations = 4;
+  uint64_t base_rows = 1000;   ///< rows of the first/fact relation
+  /// Each subsequent relation's size = previous * growth (chain) or the
+  /// dimension size (star). Varying sizes are what make join order matter.
+  double growth = 2.0;
+  uint64_t dim_rows = 100;     ///< star: dimension table size
+  uint64_t seed = 42;
+  bool with_indexes = false;   ///< secondary index on every join column
+  std::string prefix = "r";    ///< table name prefix
+};
+
+/// Builds tables r0..r{n-1}: r_i(id serial, fk uniform over r_{i+1}.id, pad)
+/// and returns the chain query
+///   SELECT count(*) FROM r0, r1, ... WHERE r0.fk = r1.id AND r1.fk = r2.id ...
+Result<std::string> BuildChainWorkload(Database* db, const JoinWorkloadSpec& spec);
+
+/// Builds one fact table f(id, d0, .., d{n-2}, val) and n-1 dimensions
+/// dim_i(id serial, attr) and returns the star query joining all of them.
+Result<std::string> BuildStarWorkload(Database* db, const JoinWorkloadSpec& spec);
+
+/// Builds n tables that all share a join column k (uniform over a small
+/// domain) and returns the clique query with all pairwise equi-joins.
+Result<std::string> BuildCliqueWorkload(Database* db, const JoinWorkloadSpec& spec);
+
+}  // namespace relopt

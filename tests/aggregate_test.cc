@@ -1,0 +1,121 @@
+// Aggregate executor SQL semantics (via the Database facade for brevity).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace relopt {
+namespace {
+
+using tu::IntCell;
+using tu::Sql;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() {
+    Sql(&db_, "CREATE TABLE t (g INT, v INT, d DOUBLE)");
+    Sql(&db_,
+        "INSERT INTO t VALUES (1, 10, 1.5), (1, 20, 2.5), (2, 30, 3.5), "
+        "(2, NULL, NULL), (3, NULL, 4.5)");
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, CountStarCountsAllRows) {
+  EXPECT_EQ(IntCell(Sql(&db_, "SELECT count(*) FROM t")), 5);
+}
+
+TEST_F(AggregateTest, CountColumnIgnoresNulls) {
+  EXPECT_EQ(IntCell(Sql(&db_, "SELECT count(v) FROM t")), 3);
+}
+
+TEST_F(AggregateTest, SumMinMax) {
+  QueryResult r = Sql(&db_, "SELECT sum(v), min(v), max(v) FROM t");
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 60);
+  EXPECT_EQ(r.rows[0].At(1).AsInt(), 10);
+  EXPECT_EQ(r.rows[0].At(2).AsInt(), 30);
+}
+
+TEST_F(AggregateTest, AvgIsDouble) {
+  QueryResult r = Sql(&db_, "SELECT avg(v) FROM t");
+  EXPECT_DOUBLE_EQ(r.rows[0].At(0).AsDouble(), 20.0);
+}
+
+TEST_F(AggregateTest, SumOfDoubles) {
+  QueryResult r = Sql(&db_, "SELECT sum(d) FROM t");
+  EXPECT_DOUBLE_EQ(r.rows[0].At(0).AsDouble(), 12.0);
+}
+
+TEST_F(AggregateTest, EmptyInputScalarAggregates) {
+  Sql(&db_, "CREATE TABLE empty_t (x INT)");
+  QueryResult r = Sql(&db_, "SELECT count(*), count(x), sum(x), min(x), avg(x) FROM empty_t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 0);
+  EXPECT_EQ(r.rows[0].At(1).AsInt(), 0);
+  EXPECT_TRUE(r.rows[0].At(2).is_null());
+  EXPECT_TRUE(r.rows[0].At(3).is_null());
+  EXPECT_TRUE(r.rows[0].At(4).is_null());
+}
+
+TEST_F(AggregateTest, EmptyInputWithGroupByYieldsNoRows) {
+  Sql(&db_, "CREATE TABLE empty_g (x INT)");
+  QueryResult r = Sql(&db_, "SELECT x, count(*) FROM empty_g GROUP BY x");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(AggregateTest, GroupBy) {
+  QueryResult r = Sql(&db_, "SELECT g, count(*), sum(v) FROM t GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 1);
+  EXPECT_EQ(r.rows[0].At(1).AsInt(), 2);
+  EXPECT_EQ(r.rows[0].At(2).AsInt(), 30);
+  EXPECT_EQ(r.rows[1].At(1).AsInt(), 2);
+  EXPECT_EQ(r.rows[1].At(2).AsInt(), 30);
+  // Group 3 has only a NULL v: sum is NULL.
+  EXPECT_TRUE(r.rows[2].At(2).is_null());
+}
+
+TEST_F(AggregateTest, GroupByGroupsNullsTogether) {
+  Sql(&db_, "CREATE TABLE n (g INT)");
+  Sql(&db_, "INSERT INTO n VALUES (NULL), (NULL), (1)");
+  QueryResult r = Sql(&db_, "SELECT g, count(*) FROM n GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_TRUE(r.rows[0].At(0).is_null());  // NULL group sorts first
+  EXPECT_EQ(r.rows[0].At(1).AsInt(), 2);
+}
+
+TEST_F(AggregateTest, HavingFiltersGroups) {
+  QueryResult r = Sql(&db_, "SELECT g FROM t GROUP BY g HAVING count(v) = 2 ORDER BY g");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 1);
+}
+
+TEST_F(AggregateTest, AggregateOverExpression) {
+  QueryResult r = Sql(&db_, "SELECT sum(v * 2) FROM t");
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 120);
+}
+
+TEST_F(AggregateTest, GroupByExpression) {
+  QueryResult r = Sql(&db_, "SELECT g % 2, count(*) FROM t GROUP BY g % 2 ORDER BY g % 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].At(1).AsInt(), 2);  // g=2 (even): 2 rows
+  EXPECT_EQ(r.rows[1].At(1).AsInt(), 3);  // g=1,3 (odd): 3 rows
+}
+
+TEST_F(AggregateTest, MinMaxOnStrings) {
+  Sql(&db_, "CREATE TABLE s (x TEXT)");
+  Sql(&db_, "INSERT INTO s VALUES ('banana'), ('apple'), ('cherry')");
+  QueryResult r = Sql(&db_, "SELECT min(x), max(x) FROM s");
+  EXPECT_EQ(r.rows[0].At(0).AsString(), "apple");
+  EXPECT_EQ(r.rows[0].At(1).AsString(), "cherry");
+}
+
+TEST_F(AggregateTest, MixedIntDoubleSumPromotes) {
+  Sql(&db_, "CREATE TABLE m (x DOUBLE)");
+  Sql(&db_, "INSERT INTO m VALUES (1.5), (2)");
+  QueryResult r = Sql(&db_, "SELECT sum(x) FROM m");
+  EXPECT_DOUBLE_EQ(r.rows[0].At(0).AsDouble(), 3.5);
+}
+
+}  // namespace
+}  // namespace relopt

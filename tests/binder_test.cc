@@ -1,0 +1,214 @@
+// Binder tests: logical plan construction, aggregate lifting, errors.
+#include <gtest/gtest.h>
+
+#include "expr/binder.h"
+#include "parser/parser.h"
+
+namespace relopt {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : pool_(&disk_, 64), catalog_(&pool_) {
+    Schema t;
+    t.AddColumn(Column("a", TypeId::kInt64, "t"));
+    t.AddColumn(Column("b", TypeId::kString, "t"));
+    EXPECT_TRUE(catalog_.CreateTable("t", std::move(t)).ok());
+    Schema u;
+    u.AddColumn(Column("id", TypeId::kInt64, "u"));
+    u.AddColumn(Column("x", TypeId::kInt64, "u"));
+    EXPECT_TRUE(catalog_.CreateTable("u", std::move(u)).ok());
+  }
+
+  Result<LogicalPtr> Bind(const std::string& sql) {
+    RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+    Binder binder(&catalog_);
+    return binder.BindSelect(static_cast<SelectStmt*>(stmt.get()));
+  }
+
+  LogicalPtr BindOk(const std::string& sql) {
+    Result<LogicalPtr> r = Bind(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.MoveValue() : nullptr;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, SimpleSelectShape) {
+  LogicalPtr plan = BindOk("SELECT a FROM t");
+  // Project over Scan.
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  EXPECT_EQ(plan->child(0)->kind(), LogicalNodeKind::kScan);
+  EXPECT_EQ(plan->schema().NumColumns(), 1u);
+  EXPECT_EQ(plan->schema().ColumnAt(0).name, "a");
+  EXPECT_EQ(plan->schema().ColumnAt(0).type, TypeId::kInt64);
+}
+
+TEST_F(BinderTest, StarExpandsAllColumns) {
+  LogicalPtr plan = BindOk("SELECT * FROM t");
+  EXPECT_EQ(plan->schema().NumColumns(), 2u);
+  EXPECT_EQ(plan->schema().ColumnAt(0).QualifiedName(), "t.a");
+  EXPECT_EQ(plan->schema().ColumnAt(1).QualifiedName(), "t.b");
+}
+
+TEST_F(BinderTest, WhereBecomesFilter) {
+  LogicalPtr plan = BindOk("SELECT a FROM t WHERE a > 3");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  ASSERT_EQ(plan->child(0)->kind(), LogicalNodeKind::kFilter);
+  EXPECT_EQ(plan->child(0)->child(0)->kind(), LogicalNodeKind::kScan);
+}
+
+TEST_F(BinderTest, TwoTablesMakeCrossJoin) {
+  LogicalPtr plan = BindOk("SELECT t.a, u.x FROM t, u");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  EXPECT_EQ(plan->child(0)->kind(), LogicalNodeKind::kJoin);
+  EXPECT_EQ(plan->child(0)->schema().NumColumns(), 4u);
+}
+
+TEST_F(BinderTest, AliasesQualifySchema) {
+  LogicalPtr plan = BindOk("SELECT t1.a, t2.a FROM t t1, t t2");
+  EXPECT_EQ(plan->schema().ColumnAt(0).QualifiedName(), "t1.a");
+  EXPECT_EQ(plan->schema().ColumnAt(1).QualifiedName(), "t2.a");
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_EQ(Bind("SELECT * FROM t, t").status().code(), StatusCode::kBindError);
+  EXPECT_EQ(Bind("SELECT * FROM t x, u x").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  EXPECT_EQ(Bind("SELECT * FROM nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(Bind("SELECT zzz FROM t").status().code(), StatusCode::kBindError);
+  EXPECT_EQ(Bind("SELECT u.a FROM t").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  EXPECT_EQ(Bind("SELECT a FROM t t1, t t2").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, NonBooleanWhereRejected) {
+  EXPECT_EQ(Bind("SELECT a FROM t WHERE a + 1").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, AggregateLifting) {
+  LogicalPtr plan = BindOk("SELECT count(*), sum(a) FROM t");
+  // Project over Aggregate.
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  ASSERT_EQ(plan->child(0)->kind(), LogicalNodeKind::kAggregate);
+  const auto* agg = static_cast<const LogicalAggregate*>(plan->child(0));
+  EXPECT_EQ(agg->aggs().size(), 2u);
+  EXPECT_TRUE(agg->group_by().empty());
+  EXPECT_EQ(plan->schema().ColumnAt(0).type, TypeId::kInt64);
+}
+
+TEST_F(BinderTest, GroupByColumnsInOutput) {
+  LogicalPtr plan = BindOk("SELECT b, count(*) FROM t GROUP BY b");
+  const LogicalNode* agg = plan->child(0);
+  ASSERT_EQ(agg->kind(), LogicalNodeKind::kAggregate);
+  EXPECT_EQ(agg->schema().NumColumns(), 2u);
+  EXPECT_EQ(agg->schema().ColumnAt(0).name, "b");
+  EXPECT_EQ(agg->schema().ColumnAt(1).name, "count(*)");
+}
+
+TEST_F(BinderTest, DuplicateAggregatesDeduplicated) {
+  LogicalPtr plan = BindOk("SELECT sum(a), sum(a) + 1 FROM t");
+  const auto* agg = static_cast<const LogicalAggregate*>(plan->child(0));
+  EXPECT_EQ(agg->aggs().size(), 1u);
+}
+
+TEST_F(BinderTest, HavingBecomesFilterAboveAggregate) {
+  LogicalPtr plan = BindOk("SELECT b FROM t GROUP BY b HAVING count(*) > 1");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  ASSERT_EQ(plan->child(0)->kind(), LogicalNodeKind::kFilter);
+  EXPECT_EQ(plan->child(0)->child(0)->kind(), LogicalNodeKind::kAggregate);
+  // HAVING's count(*) is still computed even though not projected.
+  const auto* agg = static_cast<const LogicalAggregate*>(plan->child(0)->child(0));
+  EXPECT_EQ(agg->aggs().size(), 1u);
+}
+
+TEST_F(BinderTest, SelectStarWithGroupByRejected) {
+  EXPECT_EQ(Bind("SELECT * FROM t GROUP BY a").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, HavingWithoutAggregateRejected) {
+  // HAVING forces an aggregate context; bare column b is then unresolvable.
+  EXPECT_FALSE(Bind("SELECT b FROM t HAVING b > 'x'").ok());
+}
+
+TEST_F(BinderTest, AggregateInWhereRejected) {
+  EXPECT_EQ(Bind("SELECT a FROM t WHERE sum(a) > 1").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, NonGroupedColumnInSelectRejected) {
+  EXPECT_EQ(Bind("SELECT a, count(*) FROM t GROUP BY b").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, OrderBySortsBelowProject) {
+  LogicalPtr plan = BindOk("SELECT a FROM t ORDER BY b DESC");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  ASSERT_EQ(plan->child(0)->kind(), LogicalNodeKind::kSort);
+  const auto* sort = static_cast<const LogicalSort*>(plan->child(0));
+  ASSERT_EQ(sort->keys().size(), 1u);
+  EXPECT_TRUE(sort->keys()[0].desc);
+}
+
+TEST_F(BinderTest, OrderByAliasSubstitutes) {
+  LogicalPtr plan = BindOk("SELECT a + 1 AS s FROM t ORDER BY s");
+  ASSERT_EQ(plan->child(0)->kind(), LogicalNodeKind::kSort);
+  const auto* sort = static_cast<const LogicalSort*>(plan->child(0));
+  // Binding backfills qualifiers, so the substituted alias renders resolved.
+  EXPECT_EQ(sort->keys()[0].expr->ToString(), "(t.a + 1)");
+}
+
+TEST_F(BinderTest, OrderByAggregate) {
+  LogicalPtr plan = BindOk("SELECT b, count(*) FROM t GROUP BY b ORDER BY count(*) DESC");
+  ASSERT_EQ(plan->child(0)->kind(), LogicalNodeKind::kSort);
+  EXPECT_EQ(plan->child(0)->child(0)->kind(), LogicalNodeKind::kAggregate);
+}
+
+TEST_F(BinderTest, LimitOnTop) {
+  LogicalPtr plan = BindOk("SELECT a FROM t LIMIT 5");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kLimit);
+  EXPECT_EQ(static_cast<const LogicalLimit*>(plan.get())->limit(), 5);
+}
+
+TEST_F(BinderTest, FromlessSelect) {
+  LogicalPtr plan = BindOk("SELECT 1 + 1 AS two");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  EXPECT_EQ(plan->child(0)->kind(), LogicalNodeKind::kValues);
+  EXPECT_EQ(plan->schema().ColumnAt(0).name, "two");
+}
+
+TEST_F(BinderTest, JoinOnConditionLandsInFilter) {
+  LogicalPtr plan = BindOk("SELECT t.a FROM t JOIN u ON t.a = u.id");
+  ASSERT_EQ(plan->kind(), LogicalNodeKind::kProject);
+  EXPECT_EQ(plan->child(0)->kind(), LogicalNodeKind::kFilter);
+}
+
+TEST_F(BinderTest, ProjectionNamesComputedColumns) {
+  LogicalPtr plan = BindOk("SELECT a + 1, b FROM t");
+  EXPECT_EQ(plan->schema().ColumnAt(0).name, "(t.a + 1)");
+  EXPECT_EQ(plan->schema().ColumnAt(1).name, "b");
+  // Binding backfills the qualifier of the unqualified reference.
+  EXPECT_EQ(plan->schema().ColumnAt(1).table, "t");
+}
+
+TEST_F(BinderTest, AvgIsDouble) {
+  LogicalPtr plan = BindOk("SELECT avg(a) FROM t");
+  EXPECT_EQ(plan->schema().ColumnAt(0).type, TypeId::kDouble);
+}
+
+TEST_F(BinderTest, SumOfStringRejected) {
+  EXPECT_EQ(Bind("SELECT sum(b) FROM t").status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, NegativeLimitRejected) {
+  EXPECT_FALSE(Bind("SELECT a FROM t LIMIT -1").ok());
+}
+
+}  // namespace
+}  // namespace relopt

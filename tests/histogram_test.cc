@@ -1,0 +1,131 @@
+// Equi-depth histogram construction and estimation tests.
+#include <gtest/gtest.h>
+
+#include "catalog/histogram.h"
+#include "util/rng.h"
+
+namespace relopt {
+namespace {
+
+std::vector<Value> Ints(std::initializer_list<int64_t> vals) {
+  std::vector<Value> out;
+  for (int64_t v : vals) out.push_back(Value::Int(v));
+  return out;
+}
+
+std::vector<Value> Range(int64_t lo, int64_t hi) {
+  std::vector<Value> out;
+  for (int64_t v = lo; v <= hi; ++v) out.push_back(Value::Int(v));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build({}, 8);
+  EXPECT_TRUE(h.Empty());
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(1)), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateLess(Value::Int(1), true), 0.0);
+}
+
+TEST(HistogramTest, BucketsCoverInput) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(Range(1, 100), 10);
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_EQ(h.buckets().size(), 10u);
+  uint64_t total = 0;
+  for (const auto& b : h.buckets()) total += b.count;
+  EXPECT_EQ(total, 100u);
+  EXPECT_TRUE(h.buckets().front().lo.Equals(Value::Int(1)));
+  EXPECT_TRUE(h.buckets().back().hi.Equals(Value::Int(100)));
+}
+
+TEST(HistogramTest, EqOnUniformData) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(Range(1, 1000), 32);
+  // Each value is 1/1000 of the data.
+  EXPECT_NEAR(h.EstimateEq(Value::Int(500)), 0.001, 0.0005);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(5000)), 0.0);  // out of range
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(-1)), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Null()), 0.0);
+}
+
+TEST(HistogramTest, HeavyHitterGetsOwnBucketMass) {
+  // 900 copies of 5, 100 distinct others: Eq(5) should be ~0.9.
+  std::vector<Value> values;
+  for (int i = 0; i < 900; ++i) values.push_back(Value::Int(5));
+  for (int i = 0; i < 100; ++i) values.push_back(Value::Int(1000 + i));
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(std::move(values), 16);
+  EXPECT_NEAR(h.EstimateEq(Value::Int(5)), 0.9, 0.1);
+  // A rare value is far below.
+  EXPECT_LT(h.EstimateEq(Value::Int(1050)), 0.05);
+}
+
+TEST(HistogramTest, LessEstimates) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(Range(1, 1000), 32);
+  EXPECT_NEAR(h.EstimateLess(Value::Int(500), false), 0.5, 0.05);
+  EXPECT_NEAR(h.EstimateLess(Value::Int(100), false), 0.1, 0.05);
+  EXPECT_DOUBLE_EQ(h.EstimateLess(Value::Int(0), false), 0.0);
+  EXPECT_NEAR(h.EstimateLess(Value::Int(2000), false), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, RangeEstimates) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(Range(1, 1000), 32);
+  Value lo = Value::Int(250), hi = Value::Int(750);
+  EXPECT_NEAR(h.EstimateRange(&lo, true, &hi, true), 0.5, 0.05);
+  EXPECT_NEAR(h.EstimateRange(nullptr, true, &hi, true), 0.75, 0.05);
+  EXPECT_NEAR(h.EstimateRange(&lo, true, nullptr, true), 0.75, 0.05);
+  EXPECT_NEAR(h.EstimateRange(nullptr, true, nullptr, true), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, SkewedDataStillAccurate) {
+  // Zipf-ish data: histogram should estimate the head much better than the
+  // uniform assumption would.
+  Rng rng(17);
+  ZipfGenerator zipf(100, 1.1);
+  std::vector<Value> values;
+  int count_of_one = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = zipf.Next(&rng);
+    if (v == 1) ++count_of_one;
+    values.push_back(Value::Int(static_cast<int64_t>(v)));
+  }
+  double true_frac = static_cast<double>(count_of_one) / 20000.0;
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(std::move(values), 32);
+  double est = h.EstimateEq(Value::Int(1));
+  // Within 2x of truth (the uniform assumption would be off by ~20x).
+  EXPECT_GT(est, true_frac / 2);
+  EXPECT_LT(est, true_frac * 2);
+}
+
+TEST(HistogramTest, SingleValueInput) {
+  std::vector<Value> values(50, Value::Int(7));
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(std::move(values), 8);
+  EXPECT_EQ(h.buckets().size(), 1u);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(7)), 1.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::Int(8)), 0.0);
+}
+
+TEST(HistogramTest, StringValues) {
+  EquiDepthHistogram h =
+      *EquiDepthHistogram::Build({Value::String("a"), Value::String("b"), Value::String("c"),
+                                  Value::String("d")},
+                                 2);
+  EXPECT_GT(h.EstimateEq(Value::String("a")), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateEq(Value::String("zz")), 0.0);
+  EXPECT_GT(h.EstimateLess(Value::String("c"), false), 0.0);
+}
+
+TEST(HistogramTest, EqualsBoundaryInclusivity) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(Ints({1, 2, 3, 4, 5}), 5);
+  // col <= 3 should exceed col < 3 by about Eq(3).
+  double le = h.EstimateLess(Value::Int(3), true);
+  double lt = h.EstimateLess(Value::Int(3), false);
+  EXPECT_GT(le, lt);
+  EXPECT_NEAR(le - lt, h.EstimateEq(Value::Int(3)), 0.1);
+}
+
+TEST(HistogramTest, ToStringMentionsBuckets) {
+  EquiDepthHistogram h = *EquiDepthHistogram::Build(Range(1, 10), 2);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("buckets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relopt

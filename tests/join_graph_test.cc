@@ -1,0 +1,142 @@
+// Query-graph extraction: relations, conjunct classification, edges.
+#include <gtest/gtest.h>
+
+#include "expr/binder.h"
+#include "optimizer/join_graph.h"
+#include "parser/parser.h"
+
+namespace relopt {
+namespace {
+
+class JoinGraphTest : public ::testing::Test {
+ protected:
+  JoinGraphTest() : pool_(&disk_, 64), catalog_(&pool_) {
+    for (const char* name : {"a", "b", "c"}) {
+      Schema s;
+      s.AddColumn(Column("id", TypeId::kInt64, name));
+      s.AddColumn(Column("x", TypeId::kInt64, name));
+      EXPECT_TRUE(catalog_.CreateTable(name, std::move(s)).ok());
+    }
+  }
+
+  /// Binds a SELECT and extracts the query graph from its join block
+  /// (stripping Project and anything above the first Filter/Join/Scan).
+  QueryGraph Graph(const std::string& sql) {
+    Result<StatementPtr> stmt = ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&catalog_);
+    Result<LogicalPtr> plan = binder.BindSelect(static_cast<SelectStmt*>(stmt->get()));
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    LogicalPtr node = plan.MoveValue();
+    while (node->kind() != LogicalNodeKind::kFilter && node->kind() != LogicalNodeKind::kJoin &&
+           node->kind() != LogicalNodeKind::kScan) {
+      node = node->TakeChild(0);
+    }
+    Result<QueryGraph> graph = BuildQueryGraph(std::move(node), &catalog_);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    return graph.ok() ? graph.MoveValue() : QueryGraph{};
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(JoinGraphTest, SingleTableWithConjuncts) {
+  QueryGraph g = Graph("SELECT a.id FROM a WHERE a.x > 5 AND a.id = 3");
+  ASSERT_EQ(g.relations.size(), 1u);
+  EXPECT_EQ(g.relations[0].alias, "a");
+  EXPECT_EQ(g.relations[0].conjuncts.size(), 2u);
+  EXPECT_TRUE(g.edges.empty());
+  EXPECT_TRUE(g.other_conjuncts.empty());
+}
+
+TEST_F(JoinGraphTest, EquiJoinBecomesEdge) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b WHERE a.id = b.id");
+  ASSERT_EQ(g.relations.size(), 2u);
+  ASSERT_EQ(g.edges.size(), 1u);
+  EXPECT_EQ(g.edges[0].left_column, "id");
+  EXPECT_EQ(g.edges[0].right_column, "id");
+  EXPECT_NE(g.edges[0].left_rel, g.edges[0].right_rel);
+}
+
+TEST_F(JoinGraphTest, MixedConjunctsClassified) {
+  QueryGraph g = Graph(
+      "SELECT a.id FROM a, b, c "
+      "WHERE a.id = b.id AND b.x = c.x AND a.x > 10 AND a.id + b.id < 100");
+  EXPECT_EQ(g.relations.size(), 3u);
+  EXPECT_EQ(g.edges.size(), 2u);
+  // a.x > 10 attaches to a.
+  int a_idx = g.RelIndex("a");
+  EXPECT_EQ(g.relations[a_idx].conjuncts.size(), 1u);
+  // a.id + b.id < 100 is a two-table non-equi conjunct.
+  EXPECT_EQ(g.other_conjuncts.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, NonEquiJoinGoesToOthers) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b WHERE a.id < b.id");
+  EXPECT_TRUE(g.edges.empty());
+  EXPECT_EQ(g.other_conjuncts.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, JoinSyntaxEqualsWhereSyntax) {
+  QueryGraph g1 = Graph("SELECT a.id FROM a JOIN b ON a.id = b.id WHERE a.x > 1");
+  QueryGraph g2 = Graph("SELECT a.id FROM a, b WHERE a.id = b.id AND a.x > 1");
+  EXPECT_EQ(g1.relations.size(), g2.relations.size());
+  EXPECT_EQ(g1.edges.size(), g2.edges.size());
+  int a1 = g1.RelIndex("a");
+  int a2 = g2.RelIndex("a");
+  EXPECT_EQ(g1.relations[a1].conjuncts.size(), g2.relations[a2].conjuncts.size());
+}
+
+TEST_F(JoinGraphTest, SelfJoinWithAliases) {
+  QueryGraph g = Graph("SELECT a1.id FROM a a1, a a2 WHERE a1.id = a2.x");
+  ASSERT_EQ(g.relations.size(), 2u);
+  EXPECT_NE(g.RelIndex("a1"), -1);
+  EXPECT_NE(g.RelIndex("a2"), -1);
+  EXPECT_EQ(g.edges.size(), 1u);
+}
+
+TEST_F(JoinGraphTest, RelationsOfResolvesQualifiers) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b WHERE a.id = b.id");
+  ExprPtr e = MakeComparison(CompareOp::kEq, MakeColumnRef("a", "x"), MakeColumnRef("b", "x"));
+  Result<JoinSet> rels = g.RelationsOf(*e);
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(rels->Count(), 2);
+
+  ExprPtr bad = MakeColumnRef("zzz", "x");
+  EXPECT_FALSE(g.RelationsOf(*bad).ok());
+}
+
+TEST_F(JoinGraphTest, ConnectivityQueries) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b, c WHERE a.id = b.id AND b.x = c.x");
+  int a = g.RelIndex("a"), b = g.RelIndex("b"), c = g.RelIndex("c");
+  EXPECT_TRUE(g.Connected(JoinSet::Single(a), JoinSet::Single(b)));
+  EXPECT_FALSE(g.Connected(JoinSet::Single(a), JoinSet::Single(c)));
+  EXPECT_TRUE(g.Connected(JoinSet::Single(a).With(b), JoinSet::Single(c)));
+  EXPECT_TRUE(g.FullyConnected());
+}
+
+TEST_F(JoinGraphTest, DisconnectedGraphDetected) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b, c WHERE a.id = b.id");
+  EXPECT_FALSE(g.FullyConnected());
+}
+
+TEST_F(JoinGraphTest, CrossJoinHasNoEdges) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b");
+  EXPECT_TRUE(g.edges.empty());
+  EXPECT_FALSE(g.FullyConnected());
+}
+
+TEST_F(JoinGraphTest, ConstantTrueConjunctDropped) {
+  QueryGraph g = Graph("SELECT a.id FROM a WHERE 1 = 1");
+  EXPECT_TRUE(g.relations[0].conjuncts.empty());
+}
+
+TEST_F(JoinGraphTest, MultipleEdgesBetweenSamePair) {
+  QueryGraph g = Graph("SELECT a.id FROM a, b WHERE a.id = b.id AND a.x = b.x");
+  EXPECT_EQ(g.edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace relopt

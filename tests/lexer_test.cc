@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+
+namespace relopt {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Result<std::vector<Token>> r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : std::vector<Token>{};
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = Lex("select Foo _bar x1");
+  ASSERT_EQ(tokens.size(), 5u);  // 4 + end
+  EXPECT_TRUE(tokens[0].IsWord("SELECT"));
+  EXPECT_EQ(tokens[1].text, "Foo");  // case preserved
+  EXPECT_EQ(tokens[2].text, "_bar");
+  EXPECT_EQ(tokens[3].text, "x1");
+  EXPECT_TRUE(tokens[4].Is(TokenKind::kEnd));
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto tokens = Lex("0 42 9999999999");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 9999999999LL);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  auto tokens = Lex("3.5 .25 1e3 2.5E-2");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kDoubleLiteral));
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Lex("'hello' 'it''s' ''");
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= <> != < <= > >= ( ) , ; . * + - / %");
+  EXPECT_TRUE(tokens[0].IsSymbol("="));
+  EXPECT_TRUE(tokens[1].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[2].IsSymbol("<>"));  // != normalizes
+  EXPECT_TRUE(tokens[3].IsSymbol("<"));
+  EXPECT_TRUE(tokens[4].IsSymbol("<="));
+  EXPECT_TRUE(tokens[5].IsSymbol(">"));
+  EXPECT_TRUE(tokens[6].IsSymbol(">="));
+  EXPECT_TRUE(tokens[16].IsSymbol("%"));
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Lex("select -- this is a comment\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_TRUE(tokens[0].IsWord("select"));
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, MinusVsComment) {
+  auto tokens = Lex("1 - 2");
+  EXPECT_TRUE(tokens[1].IsSymbol("-"));
+  EXPECT_EQ(tokens[2].int_value, 2);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  Result<std::vector<Token>> r = Tokenize("select @");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+}
+
+TEST(LexerTest, MalformedExponentIsError) {
+  EXPECT_FALSE(Tokenize("1e").ok());
+  EXPECT_FALSE(Tokenize("1e+").ok());
+}
+
+}  // namespace
+}  // namespace relopt

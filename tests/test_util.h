@@ -1,0 +1,75 @@
+// Shared helpers for relopt tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace relopt {
+namespace tu {
+
+/// Unwraps a Result in tests with a readable failure.
+#define ASSERT_OK(expr)                                    \
+  do {                                                     \
+    ::relopt::Status _st = (expr);                         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();               \
+  } while (0)
+
+#define EXPECT_OK(expr)                                    \
+  do {                                                     \
+    ::relopt::Status _st = (expr);                         \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();               \
+  } while (0)
+
+/// Runs SQL on `db`, asserting success; returns the result.
+inline QueryResult Sql(Database* db, const std::string& sql) {
+  Result<QueryResult> r = db->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : QueryResult{};
+}
+
+/// Extracts a column of int64s from a result.
+inline std::vector<int64_t> IntColumn(const QueryResult& result, size_t col) {
+  std::vector<int64_t> out;
+  for (const Tuple& row : result.rows) {
+    EXPECT_FALSE(row.At(col).is_null());
+    out.push_back(row.At(col).AsInt());
+  }
+  return out;
+}
+
+/// Single int64 cell helper (e.g. for SELECT count(*)).
+inline int64_t IntCell(const QueryResult& result) {
+  EXPECT_EQ(result.rows.size(), 1u);
+  EXPECT_GE(result.rows[0].NumValues(), 1u);
+  return result.rows.empty() ? -1 : result.rows[0].At(0).AsInt();
+}
+
+/// Loads a small standard test schema:
+///   emp(id, name, dept_id, salary)   — 1000 rows
+///   dept(id, dname)                  — 20 rows
+/// with stats analyzed.
+inline void LoadEmpDept(Database* db, int emp_rows = 1000, int dept_rows = 20) {
+  Sql(db, "CREATE TABLE emp (id INT, name TEXT, dept_id INT, salary INT)");
+  Sql(db, "CREATE TABLE dept (id INT, dname TEXT)");
+  std::string insert = "INSERT INTO emp VALUES ";
+  for (int i = 0; i < emp_rows; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", 'e" + std::to_string(i) + "', " +
+              std::to_string(i % dept_rows) + ", " + std::to_string(1000 + (i * 37) % 5000) + ")";
+  }
+  Sql(db, insert);
+  std::string insert_dept = "INSERT INTO dept VALUES ";
+  for (int i = 0; i < dept_rows; ++i) {
+    if (i > 0) insert_dept += ", ";
+    insert_dept += "(" + std::to_string(i) + ", 'd" + std::to_string(i) + "')";
+  }
+  Sql(db, insert_dept);
+  Sql(db, "ANALYZE");
+}
+
+}  // namespace tu
+}  // namespace relopt

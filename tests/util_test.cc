@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitset.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/str_util.h"
+
+namespace relopt {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing table");
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+  EXPECT_EQ(moved.message(), "boom");
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kBindError), "BindError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kTypeError), "TypeError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted), "ResourceExhausted");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    RELOPT_RETURN_NOT_OK(Status::InvalidArgument("nope"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::OutOfRange("past end");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto inner = []() -> Result<int> { return 7; };
+  auto outer = [&]() -> Result<int> {
+    RELOPT_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::NotFound("x"); };
+  auto outer = [&]() -> Result<int> {
+    RELOPT_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_EQ(outer().status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = r.MoveValue();
+  EXPECT_EQ(v, "hello");
+}
+
+// --------------------------------------------------------------- strings --
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+}
+
+TEST(StrUtilTest, SplitAndJoin) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "-"), "a-b--c");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StrUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 5, "x"), "5-x");
+}
+
+TEST(StrUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(0.001), "0.001");
+}
+
+TEST(StrUtilTest, EscapeSqlString) {
+  EXPECT_EQ(EscapeSqlString("o'brien"), "o''brien");
+}
+
+// ------------------------------------------------------------------- rng --
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(11);
+  std::vector<size_t> perm = rng.Permutation(50);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(ZipfTest, SkewZeroIsRoughlyUniform) {
+  Rng rng(1);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 10000; ++i) counts[zipf.Next(&rng)]++;
+  for (int v = 1; v <= 10; ++v) {
+    EXPECT_GT(counts[v], 700);
+    EXPECT_LT(counts[v], 1300);
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesOnRankOne) {
+  Rng rng(2);
+  ZipfGenerator zipf(1000, 1.2);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf.Next(&rng) == 1) ++ones;
+  }
+  // Rank 1 should dominate under strong skew.
+  EXPECT_GT(ones, 1500);
+}
+
+// ---------------------------------------------------------------- JoinSet --
+
+TEST(JoinSetTest, BasicOps) {
+  JoinSet s = JoinSet::Single(3).With(5);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 2);
+  EXPECT_EQ(s.Lowest(), 3);
+  EXPECT_EQ(s.ToString(), "{3,5}");
+}
+
+TEST(JoinSetTest, SetAlgebra) {
+  JoinSet a(0b0110);
+  JoinSet b(0b0011);
+  EXPECT_EQ(a.Union(b).bits(), 0b0111u);
+  EXPECT_EQ(a.Intersect(b).bits(), 0b0010u);
+  EXPECT_EQ(a.Minus(b).bits(), 0b0100u);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(JoinSet(0b0010).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(JoinSetTest, AllUpTo) {
+  EXPECT_EQ(JoinSet::AllUpTo(4).bits(), 0b1111u);
+  EXPECT_EQ(JoinSet::AllUpTo(1).bits(), 0b1u);
+}
+
+TEST(JoinSetTest, ForEachAscending) {
+  std::vector<int> seen;
+  JoinSet(0b101001).ForEach([&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(SubsetIteratorTest, EnumeratesAllProperNonEmptySubsets) {
+  JoinSet set(0b1011);  // {0,1,3}
+  std::set<uint64_t> subsets;
+  for (SubsetIterator it(set); it.Valid(); it.Next()) {
+    subsets.insert(it.Current().bits());
+  }
+  // 2^3 - 2 = 6 proper non-empty subsets.
+  EXPECT_EQ(subsets.size(), 6u);
+  EXPECT_TRUE(subsets.count(0b0001));
+  EXPECT_TRUE(subsets.count(0b1010));
+  EXPECT_FALSE(subsets.count(0b1011));  // the full set is excluded
+  EXPECT_FALSE(subsets.count(0));
+  for (uint64_t s : subsets) {
+    EXPECT_TRUE(JoinSet(s).IsSubsetOf(set));
+  }
+}
+
+}  // namespace
+}  // namespace relopt

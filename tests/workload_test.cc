@@ -1,0 +1,155 @@
+// Workload generator tests: distributions, determinism, topology builders.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/queries.h"
+
+namespace relopt {
+namespace {
+
+TEST(GeneratorTest, RowCountAndSchema) {
+  Database db;
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 1234;
+  spec.columns = {ColumnSpec::Serial("id"), ColumnSpec::Uniform("u", 5, 9)};
+  ASSERT_TRUE(GenerateTable(&db, spec).ok());
+  QueryResult r = tu::Sql(&db, "SELECT count(*), min(u), max(u), min(id), max(id) FROM g");
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 1234);
+  EXPECT_GE(r.rows[0].At(1).AsInt(), 5);
+  EXPECT_LE(r.rows[0].At(2).AsInt(), 9);
+  EXPECT_EQ(r.rows[0].At(3).AsInt(), 0);
+  EXPECT_EQ(r.rows[0].At(4).AsInt(), 1233);
+}
+
+TEST(GeneratorTest, AnalyzeRanWhenRequested) {
+  Database db;
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 100;
+  spec.columns = {ColumnSpec::Serial("id")};
+  spec.analyze = true;
+  ASSERT_TRUE(GenerateTable(&db, spec).ok());
+  EXPECT_TRUE((*db.catalog()->GetTable("g"))->has_stats());
+
+  TableSpec no_stats = spec;
+  no_stats.name = "g2";
+  no_stats.analyze = false;
+  ASSERT_TRUE(GenerateTable(&db, no_stats).ok());
+  EXPECT_FALSE((*db.catalog()->GetTable("g2"))->has_stats());
+}
+
+TEST(GeneratorTest, DeterministicAcrossRuns) {
+  auto load = [](Database* db) {
+    TableSpec spec;
+    spec.name = "g";
+    spec.num_rows = 500;
+    spec.seed = 99;
+    spec.columns = {ColumnSpec::Uniform("u", 0, 1000), ColumnSpec::Zipf("z", 50, 1.0)};
+    EXPECT_TRUE(GenerateTable(db, spec).ok());
+    return tu::Sql(db, "SELECT sum(u), sum(z) FROM g");
+  };
+  Database db1, db2;
+  QueryResult r1 = load(&db1);
+  QueryResult r2 = load(&db2);
+  EXPECT_EQ(r1.rows[0].At(0).AsInt(), r2.rows[0].At(0).AsInt());
+  EXPECT_EQ(r1.rows[0].At(1).AsInt(), r2.rows[0].At(1).AsInt());
+}
+
+TEST(GeneratorTest, SortByLoadsPhysicallySorted) {
+  Database db;
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 300;
+  spec.columns = {ColumnSpec::Uniform("k", 0, 100), ColumnSpec::Serial("id")};
+  spec.sort_by = "k";
+  spec.analyze = false;
+  ASSERT_TRUE(GenerateTable(&db, spec).ok());
+  // Heap scan order == physical order: k must be non-decreasing.
+  QueryResult r = tu::Sql(&db, "SELECT k FROM g");
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_LE(r.rows[i - 1].At(0).AsInt(), r.rows[i].At(0).AsInt());
+  }
+}
+
+TEST(GeneratorTest, NullFractionRespected) {
+  Database db;
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 2000;
+  ColumnSpec col = ColumnSpec::Uniform("x", 0, 9);
+  col.null_fraction = 0.25;
+  spec.columns = {col};
+  ASSERT_TRUE(GenerateTable(&db, spec).ok());
+  QueryResult r = tu::Sql(&db, "SELECT count(*) FROM g WHERE x IS NULL");
+  EXPECT_NEAR(static_cast<double>(r.rows[0].At(0).AsInt()), 500.0, 60.0);
+}
+
+TEST(GeneratorTest, ZipfSkewShowsInCounts) {
+  Database db;
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 5000;
+  spec.columns = {ColumnSpec::Zipf("z", 100, 1.1)};
+  ASSERT_TRUE(GenerateTable(&db, spec).ok());
+  QueryResult head = tu::Sql(&db, "SELECT count(*) FROM g WHERE z = 1");
+  QueryResult tail = tu::Sql(&db, "SELECT count(*) FROM g WHERE z = 90");
+  EXPECT_GT(head.rows[0].At(0).AsInt(), 10 * std::max<int64_t>(1, tail.rows[0].At(0).AsInt()));
+}
+
+TEST(QueriesTest, ChainWorkloadBuildsAndRuns) {
+  Database db;
+  JoinWorkloadSpec spec;
+  spec.num_relations = 3;
+  spec.base_rows = 100;
+  Result<std::string> q = BuildChainWorkload(&db, spec);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(q->find("r0.fk = r1.id"), std::string::npos);
+  QueryResult r = tu::Sql(&db, *q);
+  EXPECT_GT(r.rows[0].At(0).AsInt(), 0);
+}
+
+TEST(QueriesTest, StarWorkloadBuildsAndRuns) {
+  Database db;
+  JoinWorkloadSpec spec;
+  spec.num_relations = 4;  // fact + 3 dims
+  spec.base_rows = 200;
+  spec.dim_rows = 50;
+  Result<std::string> q = BuildStarWorkload(&db, spec);
+  ASSERT_TRUE(q.ok());
+  QueryResult r = tu::Sql(&db, *q);
+  // Every fact row matches exactly one row per dimension.
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), 200);
+}
+
+TEST(QueriesTest, CliqueWorkloadBuildsAndRuns) {
+  Database db;
+  JoinWorkloadSpec spec;
+  spec.num_relations = 3;
+  spec.base_rows = 60;
+  Result<std::string> q = BuildCliqueWorkload(&db, spec);
+  ASSERT_TRUE(q.ok());
+  // All pairwise predicates present: 3 choose 2 = 3 "=" signs.
+  size_t count = 0;
+  for (size_t pos = q->find(".k ="); pos != std::string::npos; pos = q->find(".k =", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  QueryResult r = tu::Sql(&db, *q);
+  EXPECT_GE(r.rows[0].At(0).AsInt(), 0);
+}
+
+TEST(QueriesTest, WithIndexesCreatesThem) {
+  Database db;
+  JoinWorkloadSpec spec;
+  spec.num_relations = 2;
+  spec.base_rows = 50;
+  spec.with_indexes = true;
+  ASSERT_TRUE(BuildChainWorkload(&db, spec).ok());
+  EXPECT_TRUE(db.catalog()->GetIndex("idx_r0_id").ok());
+  EXPECT_TRUE(db.catalog()->GetIndex("idx_r1_id").ok());
+}
+
+}  // namespace
+}  // namespace relopt
