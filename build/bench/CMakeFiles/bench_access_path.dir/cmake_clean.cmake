@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_path.dir/bench_access_path.cc.o"
+  "CMakeFiles/bench_access_path.dir/bench_access_path.cc.o.d"
+  "bench_access_path"
+  "bench_access_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enum_cost.dir/bench_enum_cost.cc.o"
+  "CMakeFiles/bench_enum_cost.dir/bench_enum_cost.cc.o.d"
+  "bench_enum_cost"
+  "bench_enum_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enum_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

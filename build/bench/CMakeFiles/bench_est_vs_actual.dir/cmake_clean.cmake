@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_est_vs_actual.dir/bench_est_vs_actual.cc.o"
+  "CMakeFiles/bench_est_vs_actual.dir/bench_est_vs_actual.cc.o.d"
+  "bench_est_vs_actual"
+  "bench_est_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_est_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

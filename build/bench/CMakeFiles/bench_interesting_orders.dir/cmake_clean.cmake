@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interesting_orders.dir/bench_interesting_orders.cc.o"
+  "CMakeFiles/bench_interesting_orders.dir/bench_interesting_orders.cc.o.d"
+  "bench_interesting_orders"
+  "bench_interesting_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interesting_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_methods_tour.dir/join_methods_tour.cpp.o"
+  "CMakeFiles/join_methods_tour.dir/join_methods_tour.cpp.o.d"
+  "join_methods_tour"
+  "join_methods_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_methods_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for join_methods_tour.
+# This may be replaced when dependencies are built.

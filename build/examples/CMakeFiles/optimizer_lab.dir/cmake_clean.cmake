@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_lab.dir/optimizer_lab.cpp.o"
+  "CMakeFiles/optimizer_lab.dir/optimizer_lab.cpp.o.d"
+  "optimizer_lab"
+  "optimizer_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

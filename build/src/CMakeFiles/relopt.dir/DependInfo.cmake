@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/relopt.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/relopt.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/histogram.cc" "src/CMakeFiles/relopt.dir/catalog/histogram.cc.o" "gcc" "src/CMakeFiles/relopt.dir/catalog/histogram.cc.o.d"
+  "/root/repo/src/catalog/statistics.cc" "src/CMakeFiles/relopt.dir/catalog/statistics.cc.o" "gcc" "src/CMakeFiles/relopt.dir/catalog/statistics.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/relopt.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/relopt.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/relopt.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/block_nested_loop_join.cc" "src/CMakeFiles/relopt.dir/exec/block_nested_loop_join.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/block_nested_loop_join.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/relopt.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/executor_factory.cc" "src/CMakeFiles/relopt.dir/exec/executor_factory.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/executor_factory.cc.o.d"
+  "/root/repo/src/exec/external_sort.cc" "src/CMakeFiles/relopt.dir/exec/external_sort.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/external_sort.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/CMakeFiles/relopt.dir/exec/filter.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/filter.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/relopt.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/index_nested_loop_join.cc" "src/CMakeFiles/relopt.dir/exec/index_nested_loop_join.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/index_nested_loop_join.cc.o.d"
+  "/root/repo/src/exec/index_scan.cc" "src/CMakeFiles/relopt.dir/exec/index_scan.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/index_scan.cc.o.d"
+  "/root/repo/src/exec/limit.cc" "src/CMakeFiles/relopt.dir/exec/limit.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/limit.cc.o.d"
+  "/root/repo/src/exec/materialize.cc" "src/CMakeFiles/relopt.dir/exec/materialize.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/materialize.cc.o.d"
+  "/root/repo/src/exec/nested_loop_join.cc" "src/CMakeFiles/relopt.dir/exec/nested_loop_join.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/nested_loop_join.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/relopt.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/seq_scan.cc" "src/CMakeFiles/relopt.dir/exec/seq_scan.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/seq_scan.cc.o.d"
+  "/root/repo/src/exec/sort_merge_join.cc" "src/CMakeFiles/relopt.dir/exec/sort_merge_join.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/sort_merge_join.cc.o.d"
+  "/root/repo/src/exec/values_exec.cc" "src/CMakeFiles/relopt.dir/exec/values_exec.cc.o" "gcc" "src/CMakeFiles/relopt.dir/exec/values_exec.cc.o.d"
+  "/root/repo/src/expr/binder.cc" "src/CMakeFiles/relopt.dir/expr/binder.cc.o" "gcc" "src/CMakeFiles/relopt.dir/expr/binder.cc.o.d"
+  "/root/repo/src/expr/conjuncts.cc" "src/CMakeFiles/relopt.dir/expr/conjuncts.cc.o" "gcc" "src/CMakeFiles/relopt.dir/expr/conjuncts.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/relopt.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/relopt.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/fold.cc" "src/CMakeFiles/relopt.dir/expr/fold.cc.o" "gcc" "src/CMakeFiles/relopt.dir/expr/fold.cc.o.d"
+  "/root/repo/src/optimizer/access_path.cc" "src/CMakeFiles/relopt.dir/optimizer/access_path.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/access_path.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/relopt.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/join_enum.cc" "src/CMakeFiles/relopt.dir/optimizer/join_enum.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/join_enum.cc.o.d"
+  "/root/repo/src/optimizer/join_graph.cc" "src/CMakeFiles/relopt.dir/optimizer/join_graph.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/join_graph.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/relopt.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rewriter.cc" "src/CMakeFiles/relopt.dir/optimizer/rewriter.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/rewriter.cc.o.d"
+  "/root/repo/src/optimizer/selectivity.cc" "src/CMakeFiles/relopt.dir/optimizer/selectivity.cc.o" "gcc" "src/CMakeFiles/relopt.dir/optimizer/selectivity.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/relopt.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/relopt.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/relopt.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/relopt.dir/parser/parser.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/relopt.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/relopt.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/physical_plan.cc" "src/CMakeFiles/relopt.dir/plan/physical_plan.cc.o" "gcc" "src/CMakeFiles/relopt.dir/plan/physical_plan.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/relopt.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/relopt.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/relopt.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/relopt.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/relopt.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/relopt.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/relopt.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/relopt.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/relopt.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/relopt.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/types/key_codec.cc" "src/CMakeFiles/relopt.dir/types/key_codec.cc.o" "gcc" "src/CMakeFiles/relopt.dir/types/key_codec.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/relopt.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/relopt.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/relopt.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/relopt.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/relopt.dir/types/type.cc.o" "gcc" "src/CMakeFiles/relopt.dir/types/type.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/relopt.dir/types/value.cc.o" "gcc" "src/CMakeFiles/relopt.dir/types/value.cc.o.d"
+  "/root/repo/src/util/bitset.cc" "src/CMakeFiles/relopt.dir/util/bitset.cc.o" "gcc" "src/CMakeFiles/relopt.dir/util/bitset.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/relopt.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/relopt.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/relopt.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/relopt.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/relopt.dir/util/status.cc.o" "gcc" "src/CMakeFiles/relopt.dir/util/status.cc.o.d"
+  "/root/repo/src/util/str_util.cc" "src/CMakeFiles/relopt.dir/util/str_util.cc.o" "gcc" "src/CMakeFiles/relopt.dir/util/str_util.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/relopt.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/relopt.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/relopt.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/relopt.dir/workload/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

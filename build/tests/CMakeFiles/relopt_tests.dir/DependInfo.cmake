@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/access_path_test.cc" "tests/CMakeFiles/relopt_tests.dir/access_path_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/access_path_test.cc.o.d"
+  "/root/repo/tests/aggregate_test.cc" "tests/CMakeFiles/relopt_tests.dir/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/aggregate_test.cc.o.d"
+  "/root/repo/tests/binder_test.cc" "tests/CMakeFiles/relopt_tests.dir/binder_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/binder_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/relopt_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/relopt_tests.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/catalog_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/relopt_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/database_test.cc" "tests/CMakeFiles/relopt_tests.dir/database_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/database_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/relopt_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/expression_test.cc" "tests/CMakeFiles/relopt_tests.dir/expression_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/expression_test.cc.o.d"
+  "/root/repo/tests/fold_test.cc" "tests/CMakeFiles/relopt_tests.dir/fold_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/fold_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/relopt_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/join_enum_test.cc" "tests/CMakeFiles/relopt_tests.dir/join_enum_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/join_enum_test.cc.o.d"
+  "/root/repo/tests/join_exec_test.cc" "tests/CMakeFiles/relopt_tests.dir/join_exec_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/join_exec_test.cc.o.d"
+  "/root/repo/tests/join_graph_test.cc" "tests/CMakeFiles/relopt_tests.dir/join_graph_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/join_graph_test.cc.o.d"
+  "/root/repo/tests/key_codec_test.cc" "tests/CMakeFiles/relopt_tests.dir/key_codec_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/key_codec_test.cc.o.d"
+  "/root/repo/tests/lexer_test.cc" "tests/CMakeFiles/relopt_tests.dir/lexer_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/lexer_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/relopt_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/relopt_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/relopt_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rewriter_test.cc" "tests/CMakeFiles/relopt_tests.dir/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/rewriter_test.cc.o.d"
+  "/root/repo/tests/selectivity_test.cc" "tests/CMakeFiles/relopt_tests.dir/selectivity_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/selectivity_test.cc.o.d"
+  "/root/repo/tests/sort_exec_test.cc" "tests/CMakeFiles/relopt_tests.dir/sort_exec_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/sort_exec_test.cc.o.d"
+  "/root/repo/tests/sql_end_to_end_test.cc" "tests/CMakeFiles/relopt_tests.dir/sql_end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/sql_end_to_end_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/relopt_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/types_test.cc" "tests/CMakeFiles/relopt_tests.dir/types_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/types_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/relopt_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/relopt_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/relopt_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/relopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
