@@ -15,14 +15,6 @@
 using namespace relopt;
 using namespace relopt::bench;
 
-namespace {
-double QError(double est, double actual) {
-  est = std::max(est, 1.0);
-  actual = std::max(actual, 1.0);
-  return std::max(est / actual, actual / est);
-}
-}  // namespace
-
 int main() {
   std::printf("T4: estimated vs actual (uniform data, fresh ANALYZE).\n"
               "io_q = max(est/actual, actual/est) over page I/O; rows_q likewise.\n\n");

@@ -17,7 +17,7 @@ using namespace relopt::bench;
 
 namespace {
 
-double QError(double est, double actual) {
+double QErrorHalfClamp(double est, double actual) {
   est = std::max(est, 0.5);
   actual = std::max(actual, 0.5);
   return std::max(est / actual, actual / est);
@@ -94,7 +94,7 @@ int main() {
     for (int mi = 0; mi < 3; ++mi) {
       db.options().optimizer.stats_mode = modes[mi];
       double est = EstimatedRows(&db, sql);
-      double q = QError(est, actual);
+      double q = QErrorHalfClamp(est, actual);
       aggs[mi].Add(q);
       row.push_back(F(est, 0));
       row.push_back(F(q, 2));

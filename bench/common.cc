@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/logging.h"
 #include "util/str_util.h"
 
 namespace relopt {
@@ -48,6 +49,23 @@ void CheckOk(const Status& status) {
   }
 }
 
+void MaybeDumpProfile(const Measured& m, const std::string& label) {
+  const char* dir = std::getenv("RELOPT_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0' || !m.profile.valid) return;
+  auto write_file = [&](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      RELOPT_LOG(kWarn) << "cannot write " << path;
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  };
+  std::string base = std::string(dir) + "/" + label;
+  write_file(base + ".profile.json", m.profile.ToJson());
+  write_file(base + ".trace.json", m.profile.ToChromeTrace());
+}
+
 Measured RunPlanMeasured(Database* db, const PhysicalNode& plan) {
   Measured m;
   m.est_total_cost = plan.est_cost().Total();
@@ -71,6 +89,11 @@ Measured RunPlanMeasured(Database* db, const PhysicalNode& plan) {
   m.tuples = metrics.tuples_processed;
   m.rows = result.rows.size();
   m.millis = std::chrono::duration<double, std::milli>(end - start).count();
+  m.profile = db->last_profile();
+
+  // Numbered dump per process so repeated runs don't clobber each other.
+  static int run_counter = 0;
+  MaybeDumpProfile(m, StringPrintf("run%04d", run_counter++));
   return m;
 }
 

@@ -46,6 +46,7 @@ struct Measured {
   uint64_t rows = 0;           ///< result rows
   double millis = 0;
   std::string plan;            ///< rendered physical plan
+  PlanProfile profile;         ///< per-operator actuals of this execution
 };
 
 /// Plans and executes `sql` on a cold buffer pool, collecting all counters.
@@ -54,6 +55,12 @@ Measured RunMeasured(Database* db, const std::string& sql);
 
 /// Executes an already-built plan on a cold cache.
 Measured RunPlanMeasured(Database* db, const PhysicalNode& plan);
+
+/// When the RELOPT_BENCH_JSON_DIR environment variable names a directory,
+/// writes `<dir>/<label>.profile.json` (per-operator metrics) and
+/// `<dir>/<label>.trace.json` (chrome://tracing event array) for one
+/// measured run. No-op when the variable is unset or the profile is empty.
+void MaybeDumpProfile(const Measured& m, const std::string& label);
 
 /// Plans only (no execution) and reports optimizer stats + elapsed time.
 struct PlannedOnly {

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds and tests both configurations: the default RelWithDebInfo build and
+# an ASAN+UBSan build. Run from the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== default build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== asan+ubsan build =="
+cmake -B build-asan -S . -DASAN=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "All checks passed."

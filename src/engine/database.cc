@@ -73,14 +73,26 @@ Result<LogicalPtr> Database::BindQuery(const std::string& select_sql) {
   return binder.BindSelect(static_cast<SelectStmt*>(stmt.get()));
 }
 
-Result<PhysicalPtr> Database::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
-  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, BindQuery(select_sql));
+Result<PhysicalPtr> Database::OptimizeLogical(LogicalPtr logical, OptimizeInfo* info,
+                                              bool want_trace) {
   options_.optimizer.buffer_pages = pool_->capacity();
+  if (trace_optimizer_ || want_trace) {
+    last_trace_ = std::make_unique<PlanTrace>();
+    info->trace = last_trace_.get();
+  }
   Optimizer optimizer(catalog_.get(), options_.optimizer);
   return optimizer.Optimize(std::move(logical), info);
 }
 
+Result<PhysicalPtr> Database::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
+  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, BindQuery(select_sql));
+  OptimizeInfo local_info;
+  if (info == nullptr) info = &local_info;
+  return OptimizeLogical(std::move(logical), info, /*want_trace=*/false);
+}
+
 Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
+  metrics_ = ExecutionMetrics{};
   IoStats io_before = disk_->stats();
   BufferPoolStats pool_before = pool_->stats();
 
@@ -109,16 +121,16 @@ Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
   metrics_.est_rows = plan.est_rows();
   metrics_.est_cost = plan.est_cost();
   metrics_.actual_rows = result.rows.size();
+  profile_ = BuildPlanProfile(plan, ctx);
   return result;
 }
 
 Result<QueryResult> Database::RunSelect(SelectStmt* stmt) {
   Binder binder(catalog_.get());
   RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
-  options_.optimizer.buffer_pages = pool_->capacity();
-  Optimizer optimizer(catalog_.get(), options_.optimizer);
   OptimizeInfo info;
-  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, optimizer.Optimize(std::move(logical), &info));
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan,
+                          OptimizeLogical(std::move(logical), &info, /*want_trace=*/false));
   RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
   metrics_.enum_stats = info.enum_stats;
   metrics_.order_from_plan = info.order_from_plan;
@@ -129,13 +141,14 @@ Result<std::string> Database::RunExplain(ExplainStmt* stmt) {
   Binder binder(catalog_.get());
   RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical,
                           binder.BindSelect(static_cast<SelectStmt*>(stmt->inner.get())));
-  options_.optimizer.buffer_pages = pool_->capacity();
-  Optimizer optimizer(catalog_.get(), options_.optimizer);
   OptimizeInfo info;
-  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, optimizer.Optimize(std::move(logical), &info));
-  std::string out = plan->ToString();
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, OptimizeLogical(std::move(logical), &info, stmt->trace));
+  std::string out;
   if (stmt->analyze) {
     RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
+    // The profile replaces the plain plan text: same tree, annotated with
+    // actuals per operator.
+    out = profile_.valid ? profile_.ToText() : plan->ToString();
     out += StringPrintf(
         "actual: rows=%zu page_reads=%llu page_writes=%llu pool_hits=%llu pool_misses=%llu "
         "tuples=%llu\n",
@@ -144,6 +157,12 @@ Result<std::string> Database::RunExplain(ExplainStmt* stmt) {
         static_cast<unsigned long long>(metrics_.pool.hits),
         static_cast<unsigned long long>(metrics_.pool.misses),
         static_cast<unsigned long long>(metrics_.tuples_processed));
+  } else {
+    out = plan->ToString();
+  }
+  if (stmt->trace && last_trace_ != nullptr) {
+    out += "-- optimizer trace --\n";
+    out += last_trace_->ToText();
   }
   return out;
 }
@@ -270,6 +289,22 @@ Status Database::RunUpdate(UpdateStmt* stmt) {
 
 Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows) {
   *produced_rows = false;
+  // Each statement reports only its own deltas. SELECT/EXPLAIN re-zero and
+  // capture inside ExecutePlan; DML/DDL capture here via `capture`.
+  metrics_ = ExecutionMetrics{};
+  IoStats io_before = disk_->stats();
+  BufferPoolStats pool_before = pool_->stats();
+  auto capture = [&]() {
+    IoStats io_after = disk_->stats();
+    BufferPoolStats pool_after = pool_->stats();
+    metrics_.io.page_reads = io_after.page_reads - io_before.page_reads;
+    metrics_.io.page_writes = io_after.page_writes - io_before.page_writes;
+    metrics_.io.pages_allocated = io_after.pages_allocated - io_before.pages_allocated;
+    metrics_.pool.hits = pool_after.hits - pool_before.hits;
+    metrics_.pool.misses = pool_after.misses - pool_before.misses;
+    metrics_.pool.evictions = pool_after.evictions - pool_before.evictions;
+    metrics_.pool.dirty_writebacks = pool_after.dirty_writebacks - pool_before.dirty_writebacks;
+  };
   switch (stmt->kind) {
     case StatementKind::kCreateTable: {
       auto* create = static_cast<CreateTableStmt*>(stmt);
@@ -280,6 +315,7 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
       RELOPT_ASSIGN_OR_RETURN(TableInfo * table,
                               catalog_->CreateTable(create->table_name, std::move(schema)));
       (void)table;
+      capture();
       return QueryResult{};
     }
     case StatementKind::kCreateIndex: {
@@ -288,10 +324,12 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
                               catalog_->CreateIndex(create->index_name, create->table_name,
                                                     create->columns, create->clustered));
       (void)index;
+      capture();
       return QueryResult{};
     }
     case StatementKind::kInsert:
       RELOPT_RETURN_NOT_OK(RunInsert(static_cast<InsertStmt*>(stmt)));
+      capture();
       return QueryResult{};
     case StatementKind::kAnalyze: {
       auto* analyze = static_cast<AnalyzeStmt*>(stmt);
@@ -303,13 +341,16 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
           RELOPT_RETURN_NOT_OK(catalog_->AnalyzeTable(name, options_.analyze_buckets));
         }
       }
+      capture();
       return QueryResult{};
     }
     case StatementKind::kDelete:
       RELOPT_RETURN_NOT_OK(RunDelete(static_cast<DeleteStmt*>(stmt)));
+      capture();
       return QueryResult{};
     case StatementKind::kUpdate:
       RELOPT_RETURN_NOT_OK(RunUpdate(static_cast<UpdateStmt*>(stmt)));
+      capture();
       return QueryResult{};
     case StatementKind::kSelect: {
       *produced_rows = true;

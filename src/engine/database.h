@@ -7,8 +7,10 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor_factory.h"
+#include "exec/plan_profile.h"
 #include "expr/binder.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_trace.h"
 #include "parser/parser.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -82,10 +84,25 @@ class Database {
   /// Counters from the most recent Execute/ExecutePlan.
   const ExecutionMetrics& last_metrics() const { return metrics_; }
 
+  /// Per-operator stats of the most recent ExecutePlan (valid=false before
+  /// the first execution). Renders as EXPLAIN ANALYZE text, JSON, or a
+  /// chrome://tracing event array.
+  const PlanProfile& last_profile() const { return profile_; }
+
+  /// When on, every optimization records its decision log; EXPLAIN TRACE
+  /// enables it for one statement regardless of this flag.
+  void set_trace_optimizer(bool on) { trace_optimizer_ = on; }
+  /// Decision log of the most recent traced optimization (null if tracing
+  /// has never been on).
+  const PlanTrace* last_trace() const { return last_trace_.get(); }
+
   /// Zeroes disk + pool counters (benchmarks call between phases).
   void ResetCounters();
 
  private:
+  /// Shared optimize step: syncs buffer_pages, wires up tracing.
+  Result<PhysicalPtr> OptimizeLogical(LogicalPtr logical, OptimizeInfo* info, bool want_trace);
+
   Result<QueryResult> RunStatement(Statement* stmt, bool* produced_rows);
   Result<QueryResult> RunSelect(SelectStmt* stmt);
   Result<std::string> RunExplain(ExplainStmt* stmt);
@@ -98,6 +115,9 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   ExecutionMetrics metrics_;
+  PlanProfile profile_;
+  std::unique_ptr<PlanTrace> last_trace_;
+  bool trace_optimizer_ = false;
 };
 
 }  // namespace relopt

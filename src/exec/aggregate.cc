@@ -86,7 +86,7 @@ Result<Value> AggregateExecutor::Finalize(const Accumulator& acc, const AggSpecE
   return Status::Internal("bad aggregate function");
 }
 
-Status AggregateExecutor::Init() {
+Status AggregateExecutor::InitImpl() {
   groups_.clear();
   done_build_ = false;
   ResetCounters();
@@ -124,7 +124,7 @@ Status AggregateExecutor::Init() {
   return Status::OK();
 }
 
-Result<bool> AggregateExecutor::Next(Tuple* out) {
+Result<bool> AggregateExecutor::NextImpl(Tuple* out) {
   if (!done_build_ || out_iter_ == groups_.end()) return false;
   const Group& group = out_iter_->second;
   std::vector<Value> values = group.keys;

@@ -25,8 +25,8 @@ class AggregateExecutor : public Executor {
   AggregateExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
                     std::vector<const Expression*> group_exprs, std::vector<AggSpecExec> aggs);
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   struct Accumulator {

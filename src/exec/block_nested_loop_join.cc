@@ -2,7 +2,7 @@
 
 namespace relopt {
 
-Status BlockNestedLoopJoinExecutor::Init() {
+Status BlockNestedLoopJoinExecutor::InitImpl() {
   RELOPT_RETURN_NOT_OK(outer_->Init());
   outer_done_ = false;
   block_active_ = false;
@@ -28,7 +28,7 @@ Result<bool> BlockNestedLoopJoinExecutor::LoadBlock() {
   return !block_.empty();
 }
 
-Result<bool> BlockNestedLoopJoinExecutor::Next(Tuple* out) {
+Result<bool> BlockNestedLoopJoinExecutor::NextImpl(Tuple* out) {
   while (true) {
     if (!block_active_) {
       if (outer_done_) return false;

@@ -18,8 +18,8 @@ class BlockNestedLoopJoinExecutor : public Executor {
         predicate_(predicate),
         block_bytes_(block_pages * kPageSize) {}
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   /// Fills `block_` from the outer child; false if the outer is exhausted

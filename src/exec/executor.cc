@@ -2,11 +2,39 @@
 
 namespace relopt {
 
+ExecContext::ExecContext(Catalog* catalog, BufferPool* pool)
+    : catalog_(catalog), pool_(pool), epoch_nanos_(MonotonicNanos()) {
+  const IoStats& io = pool_->disk()->stats();
+  const BufferPoolStats& ps = pool_->stats();
+  cp_reads_ = io.page_reads;
+  cp_writes_ = io.page_writes;
+  cp_hits_ = ps.hits;
+  cp_misses_ = ps.misses;
+}
+
 ExecContext::~ExecContext() {
   for (FileId id : scratch_files_) {
     (void)pool_->DropFilePages(id);
     pool_->disk()->DeleteFile(id);
   }
+}
+
+OperatorStats* ExecContext::SwitchAttribution(OperatorStats* next) {
+  const IoStats& io = pool_->disk()->stats();
+  const BufferPoolStats& ps = pool_->stats();
+  if (io_owner_ != nullptr) {
+    io_owner_->page_reads += io.page_reads - cp_reads_;
+    io_owner_->page_writes += io.page_writes - cp_writes_;
+    io_owner_->pool_hits += ps.hits - cp_hits_;
+    io_owner_->pool_misses += ps.misses - cp_misses_;
+  }
+  cp_reads_ = io.page_reads;
+  cp_writes_ = io.page_writes;
+  cp_hits_ = ps.hits;
+  cp_misses_ = ps.misses;
+  OperatorStats* prev = io_owner_;
+  io_owner_ = next;
+  return prev;
 }
 
 Result<HeapFile> ExecContext::CreateScratchHeap() {

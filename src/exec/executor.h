@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -10,8 +11,35 @@
 #include "types/schema.h"
 #include "types/tuple.h"
 #include "util/result.h"
+#include "util/timer.h"
 
 namespace relopt {
+
+class Executor;
+class PhysicalNode;
+
+/// \brief Per-operator runtime counters, maintained by the Executor base
+/// around every Init()/Next() call.
+///
+/// `wall_nanos` is inclusive (children's time counts toward their ancestors,
+/// as in Postgres EXPLAIN ANALYZE). The I/O fields are exclusive ("self"):
+/// page and pool traffic is attributed to the innermost operator whose
+/// Init/Next frame was active when it happened, so per-node I/O sums to the
+/// query totals.
+struct OperatorStats {
+  uint64_t init_calls = 0;   ///< stream (re)starts; >1 under nested loops
+  uint64_t next_calls = 0;
+  uint64_t rows_produced = 0;  ///< total across all restarts
+  uint64_t wall_nanos = 0;     ///< inclusive wall time in Init+Next
+  uint64_t first_start_nanos = 0;  ///< first Init, relative to the query epoch
+  bool started = false;
+
+  // Self-attributed I/O (excludes children).
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+};
 
 /// \brief Per-query execution context: catalog + buffer pool + scratch-file
 /// management + runtime counters.
@@ -21,8 +49,7 @@ namespace relopt {
 /// the same DiskManager the optimizer models.
 class ExecContext {
  public:
-  ExecContext(Catalog* catalog, BufferPool* pool)
-      : catalog_(catalog), pool_(pool) {}
+  ExecContext(Catalog* catalog, BufferPool* pool);
   ~ExecContext();
 
   ExecContext(const ExecContext&) = delete;
@@ -44,28 +71,97 @@ class ExecContext {
   /// Total tuples passed through operators (the "RSI calls" actual).
   uint64_t tuples_processed = 0;
 
+  // --- per-operator I/O attribution ---------------------------------------
+
+  /// Flushes the disk/pool counter delta since the last switch into the
+  /// currently attributed stats (if any), then makes `next` the attribution
+  /// target. Returns the previous target so scopes can nest.
+  OperatorStats* SwitchAttribution(OperatorStats* next);
+
+  /// Nanoseconds since this context was created (Chrome-trace timestamps).
+  uint64_t NanosSinceEpoch() const { return MonotonicNanos() - epoch_nanos_; }
+
+  // --- executor registry (plan profiling) ----------------------------------
+
+  /// Records which executor implements `node`; BuildExecutor calls this so
+  /// EXPLAIN ANALYZE can map plan nodes to their runtime stats.
+  void RegisterExecutor(const PhysicalNode* node, const Executor* exec) {
+    executors_[node] = exec;
+  }
+  /// The executor built for `node`, or nullptr.
+  const Executor* FindExecutor(const PhysicalNode* node) const {
+    auto it = executors_.find(node);
+    return it == executors_.end() ? nullptr : it->second;
+  }
+
  private:
   Catalog* catalog_;
   BufferPool* pool_;
   std::vector<FileId> scratch_files_;
+  std::unordered_map<const PhysicalNode*, const Executor*> executors_;
+
+  OperatorStats* io_owner_ = nullptr;  ///< current attribution target
+  uint64_t cp_reads_ = 0, cp_writes_ = 0, cp_hits_ = 0, cp_misses_ = 0;
+  uint64_t epoch_nanos_ = 0;
+};
+
+/// RAII attribution frame: the enclosed I/O is charged to `stats`; nested
+/// frames (child operators) take over and restore on exit.
+class IoAttributionScope {
+ public:
+  IoAttributionScope(ExecContext* ctx, OperatorStats* stats)
+      : ctx_(ctx), prev_(ctx->SwitchAttribution(stats)) {}
+  ~IoAttributionScope() { ctx_->SwitchAttribution(prev_); }
+
+  IoAttributionScope(const IoAttributionScope&) = delete;
+  IoAttributionScope& operator=(const IoAttributionScope&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  OperatorStats* prev_;
 };
 
 /// \brief Base iterator. Usage: Init(), then Next() until it returns false.
 /// Init() may be called again to restart the stream from the beginning
 /// (used by nested-loop joins to re-scan their inner input).
+///
+/// Init/Next are instrumented non-virtual wrappers: they maintain the
+/// OperatorStats block (call counts, rows, wall time, self-attributed I/O)
+/// and delegate to the virtual InitImpl/NextImpl that operators implement.
 class Executor {
  public:
   Executor(ExecContext* ctx, Schema schema) : ctx_(ctx), schema_(std::move(schema)) {}
   virtual ~Executor() = default;
 
-  virtual Status Init() = 0;
+  Status Init() {
+    ScopedTimer timer(&stats_.wall_nanos);
+    if (!stats_.started) {
+      stats_.started = true;
+      stats_.first_start_nanos = ctx_->NanosSinceEpoch();
+    }
+    ++stats_.init_calls;
+    IoAttributionScope io(ctx_, &stats_);
+    return InitImpl();
+  }
+
   /// Produces the next tuple; false = exhausted.
-  virtual Result<bool> Next(Tuple* out) = 0;
+  Result<bool> Next(Tuple* out) {
+    ScopedTimer timer(&stats_.wall_nanos);
+    ++stats_.next_calls;
+    IoAttributionScope io(ctx_, &stats_);
+    RELOPT_ASSIGN_OR_RETURN(bool has, NextImpl(out));
+    if (has) ++stats_.rows_produced;
+    return has;
+  }
 
   const Schema& schema() const { return schema_; }
   uint64_t rows_produced() const { return rows_produced_; }
+  const OperatorStats& stats() const { return stats_; }
 
  protected:
+  virtual Status InitImpl() = 0;
+  virtual Result<bool> NextImpl(Tuple* out) = 0;
+
   /// Bump shared + per-node counters when emitting a row.
   void CountRow() {
     ++rows_produced_;
@@ -77,6 +173,7 @@ class Executor {
   ExecContext* ctx_;
   Schema schema_;
   uint64_t rows_produced_ = 0;
+  OperatorStats stats_;
 };
 
 using ExecutorPtr = std::unique_ptr<Executor>;

@@ -18,12 +18,21 @@
 
 namespace relopt {
 
+namespace {
+/// Records the node->executor mapping for plan profiling, then passes the
+/// executor through.
+ExecutorPtr Register(ExecContext* ctx, const PhysicalNode* node, ExecutorPtr exec) {
+  ctx->RegisterExecutor(node, exec.get());
+  return exec;
+}
+}  // namespace
+
 Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
   switch (plan->kind()) {
     case PhysicalNodeKind::kSeqScan: {
       const auto* node = static_cast<const PhysSeqScan*>(plan);
       RELOPT_ASSIGN_OR_RETURN(TableInfo * table, ctx->catalog()->GetTable(node->table_name()));
-      return ExecutorPtr(std::make_unique<SeqScanExecutor>(ctx, node->schema(), table));
+      return Register(ctx, plan, std::make_unique<SeqScanExecutor>(ctx, node->schema(), table));
     }
     case PhysicalNodeKind::kIndexScan: {
       const auto* node = static_cast<const PhysIndexScan*>(plan);
@@ -54,34 +63,34 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
           hi = std::move(enc);
         }
       }
-      return ExecutorPtr(std::make_unique<IndexScanExecutor>(
+      return Register(ctx, plan, std::make_unique<IndexScanExecutor>(
           ctx, node->schema(), table, index, std::move(lo), lo_inclusive, std::move(hi),
           hi_inclusive, node->residual.get()));
     }
     case PhysicalNodeKind::kFilter: {
       const auto* node = static_cast<const PhysFilter*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
-      return ExecutorPtr(
+      return Register(ctx, plan,
           std::make_unique<FilterExecutor>(ctx, std::move(child), node->predicate()));
     }
     case PhysicalNodeKind::kProject: {
       const auto* node = static_cast<const PhysProject*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
-      return ExecutorPtr(
+      return Register(ctx, plan,
           std::make_unique<ProjectExecutor>(ctx, node->schema(), std::move(child), &node->exprs()));
     }
     case PhysicalNodeKind::kNestedLoopJoin: {
       const auto* node = static_cast<const PhysNestedLoopJoin*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1)));
-      return ExecutorPtr(std::make_unique<NestedLoopJoinExecutor>(
+      return Register(ctx, plan, std::make_unique<NestedLoopJoinExecutor>(
           ctx, std::move(outer), std::move(inner), node->predicate()));
     }
     case PhysicalNodeKind::kBlockNestedLoopJoin: {
       const auto* node = static_cast<const PhysBlockNestedLoopJoin*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1)));
-      return ExecutorPtr(std::make_unique<BlockNestedLoopJoinExecutor>(
+      return Register(ctx, plan, std::make_unique<BlockNestedLoopJoinExecutor>(
           ctx, std::move(outer), std::move(inner), node->predicate(), node->block_pages()));
     }
     case PhysicalNodeKind::kIndexNestedLoopJoin: {
@@ -89,7 +98,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
       RELOPT_ASSIGN_OR_RETURN(TableInfo * table, ctx->catalog()->GetTable(node->inner_table()));
       RELOPT_ASSIGN_OR_RETURN(IndexInfo * index, ctx->catalog()->GetIndex(node->index_name()));
-      return ExecutorPtr(std::make_unique<IndexNestedLoopJoinExecutor>(
+      return Register(ctx, plan, std::make_unique<IndexNestedLoopJoinExecutor>(
           ctx, std::move(outer), table, index, node->inner_schema(), &node->outer_key_exprs(),
           node->residual()));
     }
@@ -97,7 +106,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
       const auto* node = static_cast<const PhysSortMergeJoin*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr left, BuildExecutor(ctx, node->child(0)));
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr right, BuildExecutor(ctx, node->child(1)));
-      return ExecutorPtr(std::make_unique<SortMergeJoinExecutor>(
+      return Register(ctx, plan, std::make_unique<SortMergeJoinExecutor>(
           ctx, std::move(left), std::move(right), node->left_keys(), node->right_keys(),
           node->residual()));
     }
@@ -105,7 +114,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
       const auto* node = static_cast<const PhysHashJoin*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr build, BuildExecutor(ctx, node->child(0)));
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr probe, BuildExecutor(ctx, node->child(1)));
-      return ExecutorPtr(std::make_unique<HashJoinExecutor>(
+      return Register(ctx, plan, std::make_unique<HashJoinExecutor>(
           ctx, std::move(build), std::move(probe), node->build_keys(), node->probe_keys(),
           node->residual(), node->output_probe_first()));
     }
@@ -116,7 +125,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
       for (const PhysSort::Key& k : node->keys()) {
         keys.push_back(SortKeySpec{k.expr.get(), k.desc});
       }
-      return ExecutorPtr(
+      return Register(ctx, plan,
           std::make_unique<ExternalSortExecutor>(ctx, std::move(child), std::move(keys)));
     }
     case PhysicalNodeKind::kAggregate: {
@@ -128,22 +137,22 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
       for (const PhysAggregate::Agg& a : node->aggs()) {
         aggs.push_back(AggSpecExec{a.func, a.arg.get()});
       }
-      return ExecutorPtr(std::make_unique<AggregateExecutor>(
+      return Register(ctx, plan, std::make_unique<AggregateExecutor>(
           ctx, node->schema(), std::move(child), std::move(group_exprs), std::move(aggs)));
     }
     case PhysicalNodeKind::kLimit: {
       const auto* node = static_cast<const PhysLimit*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
-      return ExecutorPtr(std::make_unique<LimitExecutor>(ctx, std::move(child), node->limit()));
+      return Register(ctx, plan, std::make_unique<LimitExecutor>(ctx, std::move(child), node->limit()));
     }
     case PhysicalNodeKind::kValues: {
       const auto* node = static_cast<const PhysValues*>(plan);
-      return ExecutorPtr(std::make_unique<ValuesExecutor>(ctx, node->schema(), &node->rows()));
+      return Register(ctx, plan, std::make_unique<ValuesExecutor>(ctx, node->schema(), &node->rows()));
     }
     case PhysicalNodeKind::kMaterialize: {
       const auto* node = static_cast<const PhysMaterialize*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
-      return ExecutorPtr(std::make_unique<MaterializeExecutor>(ctx, std::move(child)));
+      return Register(ctx, plan, std::make_unique<MaterializeExecutor>(ctx, std::move(child)));
     }
   }
   return Status::Internal("unknown physical node kind");

@@ -101,7 +101,7 @@ Result<HeapFile> ExternalSortExecutor::MergeRuns(std::vector<HeapFile*> inputs) 
   return out;
 }
 
-Status ExternalSortExecutor::Init() {
+Status ExternalSortExecutor::InitImpl() {
   // Release previous scratch runs on re-init.
   for (HeapFile& run : runs_) ctx_->ReleaseScratchHeap(run.file_id());
   runs_.clear();
@@ -178,7 +178,7 @@ Status ExternalSortExecutor::AdvanceCursor(RunCursor* cursor) {
   return DecodeRecord(bytes, num_cols_, &cursor->key, &cursor->tuple);
 }
 
-Result<bool> ExternalSortExecutor::Next(Tuple* out) {
+Result<bool> ExternalSortExecutor::NextImpl(Tuple* out) {
   if (in_memory_) {
     if (memory_pos_ >= memory_items_.size()) return false;
     *out = memory_items_[memory_pos_++].tuple;

@@ -26,8 +26,8 @@ class ExternalSortExecutor : public Executor {
  public:
   ExternalSortExecutor(ExecContext* ctx, ExecutorPtr child, std::vector<SortKeySpec> keys);
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
   /// Number of spilled runs in the last Init (after run generation, before
   /// merging); 0 means fully in-memory. For tests/benches.

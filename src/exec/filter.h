@@ -10,12 +10,12 @@ class FilterExecutor : public Executor {
   FilterExecutor(ExecContext* ctx, ExecutorPtr child, const Expression* predicate)
       : Executor(ctx, child->schema()), child_(std::move(child)), predicate_(predicate) {}
 
-  Status Init() override {
+  Status InitImpl() override {
     ResetCounters();
     return child_->Init();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     while (true) {
       RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(out));
       if (!has) return false;

@@ -37,7 +37,7 @@ Tuple HashJoinExecutor::MakeOutput(const Tuple& probe_row, const Tuple& build_ro
                              : Tuple::Concat(build_row, probe_row);
 }
 
-Status HashJoinExecutor::Init() {
+Status HashJoinExecutor::InitImpl() {
   table_.clear();
   matches_.clear();
   match_idx_ = 0;
@@ -194,7 +194,7 @@ Result<bool> HashJoinExecutor::NextGrace(Tuple* out) {
   return false;
 }
 
-Result<bool> HashJoinExecutor::Next(Tuple* out) {
+Result<bool> HashJoinExecutor::NextImpl(Tuple* out) {
   if (grace_) return NextGrace(out);
   return NextInMemory(out, probe_.get());
 }

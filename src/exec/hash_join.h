@@ -20,8 +20,8 @@ class HashJoinExecutor : public Executor {
                    std::vector<size_t> build_keys, std::vector<size_t> probe_keys,
                    const Expression* residual, bool output_probe_first);
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   static Schema MakeOutputSchema(const Executor& build, const Executor& probe,

@@ -4,7 +4,7 @@
 
 namespace relopt {
 
-Status IndexNestedLoopJoinExecutor::Init() {
+Status IndexNestedLoopJoinExecutor::InitImpl() {
   RELOPT_RETURN_NOT_OK(outer_->Init());
   have_outer_ = false;
   matches_.clear();
@@ -13,7 +13,7 @@ Status IndexNestedLoopJoinExecutor::Init() {
   return Status::OK();
 }
 
-Result<bool> IndexNestedLoopJoinExecutor::Next(Tuple* out) {
+Result<bool> IndexNestedLoopJoinExecutor::NextImpl(Tuple* out) {
   while (true) {
     if (!have_outer_ || match_idx_ >= matches_.size()) {
       RELOPT_ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_tuple_));

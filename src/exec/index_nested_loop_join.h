@@ -21,8 +21,8 @@ class IndexNestedLoopJoinExecutor : public Executor {
         outer_key_exprs_(outer_key_exprs),
         residual_(residual) {}
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   ExecutorPtr outer_;

@@ -15,7 +15,7 @@ IndexScanExecutor::IndexScanExecutor(ExecContext* ctx, Schema schema, TableInfo*
       hi_inclusive_(hi_inclusive),
       residual_(residual) {}
 
-Status IndexScanExecutor::Init() {
+Status IndexScanExecutor::InitImpl() {
   RELOPT_ASSIGN_OR_RETURN(BTree::Iterator it,
                           BTree::Iterator::Seek(index_->tree.get(), lo_, lo_inclusive_, hi_,
                                                 hi_inclusive_));
@@ -24,7 +24,7 @@ Status IndexScanExecutor::Init() {
   return Status::OK();
 }
 
-Result<bool> IndexScanExecutor::Next(Tuple* out) {
+Result<bool> IndexScanExecutor::NextImpl(Tuple* out) {
   std::string key;
   Rid rid;
   while (true) {

@@ -16,8 +16,8 @@ class IndexScanExecutor : public Executor {
                     std::optional<std::string> lo, bool lo_inclusive,
                     std::optional<std::string> hi, bool hi_inclusive, const Expression* residual);
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   TableInfo* table_;

@@ -10,13 +10,13 @@ class LimitExecutor : public Executor {
   LimitExecutor(ExecContext* ctx, ExecutorPtr child, int64_t limit)
       : Executor(ctx, child->schema()), child_(std::move(child)), limit_(limit) {}
 
-  Status Init() override {
+  Status InitImpl() override {
     emitted_ = 0;
     ResetCounters();
     return child_->Init();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     if (emitted_ >= limit_) return false;
     RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(out));
     if (!has) return false;

@@ -2,7 +2,7 @@
 
 namespace relopt {
 
-Status MaterializeExecutor::Init() {
+Status MaterializeExecutor::InitImpl() {
   ResetCounters();
   if (!spool_) {
     RELOPT_ASSIGN_OR_RETURN(HeapFile heap, ctx_->CreateScratchHeap());
@@ -20,7 +20,7 @@ Status MaterializeExecutor::Init() {
   return Status::OK();
 }
 
-Result<bool> MaterializeExecutor::Next(Tuple* out) {
+Result<bool> MaterializeExecutor::NextImpl(Tuple* out) {
   Rid rid;
   std::string bytes;
   RELOPT_ASSIGN_OR_RETURN(bool has, iter_->Next(&rid, &bytes));

@@ -12,8 +12,8 @@ class MaterializeExecutor : public Executor {
   MaterializeExecutor(ExecContext* ctx, ExecutorPtr child)
       : Executor(ctx, child->schema()), child_(std::move(child)) {}
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   ExecutorPtr child_;

@@ -2,14 +2,14 @@
 
 namespace relopt {
 
-Status NestedLoopJoinExecutor::Init() {
+Status NestedLoopJoinExecutor::InitImpl() {
   RELOPT_RETURN_NOT_OK(outer_->Init());
   have_outer_ = false;
   ResetCounters();
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinExecutor::Next(Tuple* out) {
+Result<bool> NestedLoopJoinExecutor::NextImpl(Tuple* out) {
   while (true) {
     if (!have_outer_) {
       RELOPT_ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_tuple_));

@@ -17,8 +17,8 @@ class NestedLoopJoinExecutor : public Executor {
         inner_(std::move(inner)),
         predicate_(predicate) {}
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   ExecutorPtr outer_;

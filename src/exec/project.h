@@ -11,12 +11,12 @@ class ProjectExecutor : public Executor {
                   const std::vector<ExprPtr>* exprs)
       : Executor(ctx, std::move(out_schema)), child_(std::move(child)), exprs_(exprs) {}
 
-  Status Init() override {
+  Status InitImpl() override {
     ResetCounters();
     return child_->Init();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     Tuple in;
     RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
     if (!has) return false;

@@ -5,13 +5,13 @@ namespace relopt {
 SeqScanExecutor::SeqScanExecutor(ExecContext* ctx, Schema schema, TableInfo* table)
     : Executor(ctx, std::move(schema)), table_(table), iter_(table->heap()) {}
 
-Status SeqScanExecutor::Init() {
+Status SeqScanExecutor::InitImpl() {
   iter_.Reset();
   ResetCounters();
   return Status::OK();
 }
 
-Result<bool> SeqScanExecutor::Next(Tuple* out) {
+Result<bool> SeqScanExecutor::NextImpl(Tuple* out) {
   Rid rid;
   std::string bytes;
   RELOPT_ASSIGN_OR_RETURN(bool has, iter_.Next(&rid, &bytes));

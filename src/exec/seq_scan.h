@@ -10,8 +10,8 @@ class SeqScanExecutor : public Executor {
   /// `schema` is the alias-qualified output schema.
   SeqScanExecutor(ExecContext* ctx, Schema schema, TableInfo* table);
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   TableInfo* table_;

@@ -2,7 +2,7 @@
 
 namespace relopt {
 
-Status SortMergeJoinExecutor::Init() {
+Status SortMergeJoinExecutor::InitImpl() {
   RELOPT_RETURN_NOT_OK(left_->Init());
   RELOPT_RETURN_NOT_OK(right_->Init());
   have_left_ = have_right_ = false;
@@ -52,7 +52,7 @@ Result<int> SortMergeJoinExecutor::CompareKeys(const Tuple& l, const Tuple& r) c
   return 0;
 }
 
-Result<bool> SortMergeJoinExecutor::Next(Tuple* out) {
+Result<bool> SortMergeJoinExecutor::NextImpl(Tuple* out) {
   while (true) {
     if (emitting_) {
       // Emit left_tuple_ x group_ until the group is exhausted, then advance

@@ -21,8 +21,8 @@ class SortMergeJoinExecutor : public Executor {
         right_keys_(std::move(right_keys)),
         residual_(residual) {}
 
-  Status Init() override;
-  Result<bool> Next(Tuple* out) override;
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
 
  private:
   Result<bool> AdvanceLeft();

@@ -10,13 +10,13 @@ class ValuesExecutor : public Executor {
   ValuesExecutor(ExecContext* ctx, Schema schema, const std::vector<Tuple>* rows)
       : Executor(ctx, std::move(schema)), rows_(rows) {}
 
-  Status Init() override {
+  Status InitImpl() override {
     pos_ = 0;
     ResetCounters();
     return Status::OK();
   }
 
-  Result<bool> Next(Tuple* out) override {
+  Result<bool> NextImpl(Tuple* out) override {
     if (pos_ >= rows_->size()) return false;
     *out = (*rows_)[pos_++];
     CountRow();

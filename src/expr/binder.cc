@@ -230,12 +230,11 @@ Result<LogicalPtr> Binder::BindSelect(SelectStmt* stmt) {
 
   auto rewrite_if_agg = [&](ExprPtr e) -> ExprPtr {
     if (!has_agg) return e;
-    const auto* agg_node = static_cast<const LogicalAggregate*>(plan.get());
     // `plan` may have a HAVING filter on top by the time ORDER BY is
     // rewritten; locate the aggregate node by walking down.
     const LogicalNode* node = plan.get();
     while (node->kind() != LogicalNodeKind::kAggregate) node = node->child(0);
-    agg_node = static_cast<const LogicalAggregate*>(node);
+    const auto* agg_node = static_cast<const LogicalAggregate*>(node);
     return RewriteOverAggregate(std::move(e), group_renderings, agg_node->schema(),
                                 num_group_cols, agg_renderings);
   };

@@ -24,6 +24,22 @@ struct RelStats {
   double pages;
 };
 
+/// Records one access-path decision if tracing is on.
+void TracePath(PlanTrace* trace, const std::string& alias, std::string candidate, double rows,
+               const Cost& cost, const char* action, std::string reason) {
+  if (trace == nullptr) return;
+  PlanTraceEvent ev;
+  ev.phase = "access_path";
+  ev.target = "{" + alias + "}";
+  ev.candidate = std::move(candidate);
+  ev.rows = rows;
+  ev.cost = cost;
+  ev.total_cost = cost.Total();
+  ev.action = action;
+  ev.reason = std::move(reason);
+  trace->Add(std::move(ev));
+}
+
 RelStats StatsOf(const BaseRelation& rel) {
   RelStats s;
   if (rel.table->has_stats()) {
@@ -44,7 +60,8 @@ RelStats StatsOf(const BaseRelation& rel) {
 Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, int rel_index,
                                                      const SelectivityEstimator& estimator,
                                                      const CostModel& cost_model,
-                                                     bool enable_index_scans) {
+                                                     bool enable_index_scans,
+                                                     PlanTrace* trace) {
   const BaseRelation& rel = graph.relations[rel_index];
   RelStats table = StatsOf(rel);
 
@@ -66,6 +83,7 @@ Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, in
     p.rel_index = rel_index;
     p.out_rows = out_rows;
     p.cost = cost_model.SeqScan(table.rows, table.pages);
+    TracePath(trace, rel.alias, "SeqScan(" + rel.alias + ")", p.out_rows, p.cost, "kept", "");
     paths.push_back(std::move(p));
   }
   if (!enable_index_scans) return paths;
@@ -133,12 +151,20 @@ Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, in
     }
 
     bool has_bounds = !p.lo_values.empty() || !p.hi_values.empty();
-    if (!has_bounds && p.order.empty()) continue;
+    if (!has_bounds && p.order.empty()) {
+      TracePath(trace, rel.alias, "IndexScan(" + rel.alias + " via " + index->name + ")", out_rows,
+                Cost{}, "pruned", "no sargable bounds and no interesting key order");
+      continue;
+    }
 
     double matching = std::max(1.0, table.rows * bounded_sel);
     Result<int> height = index->tree->Height();
     Result<size_t> leaves = index->tree->NumLeafPages();
-    if (!height.ok() || !leaves.ok()) continue;
+    if (!height.ok() || !leaves.ok()) {
+      TracePath(trace, rel.alias, "IndexScan(" + rel.alias + " via " + index->name + ")", out_rows,
+                Cost{}, "pruned", "index tree statistics unavailable");
+      continue;
+    }
     p.cost = cost_model.IndexScan(matching, bounded_sel, table.rows, table.pages, *height,
                                   static_cast<double>(*leaves), index->clustered);
     // Residual predicate CPU for non-consumed conjuncts.
@@ -146,6 +172,8 @@ Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, in
       p.cost += cost_model.Filter(matching);
     }
     p.out_rows = out_rows;
+    TracePath(trace, rel.alias, "IndexScan(" + rel.alias + " via " + index->name + ")", p.out_rows,
+              p.cost, "kept", "");
     paths.push_back(std::move(p));
   }
   return paths;

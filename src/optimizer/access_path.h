@@ -4,6 +4,7 @@
 #include "optimizer/cost_model.h"
 #include "optimizer/join_graph.h"
 #include "optimizer/order_spec.h"
+#include "optimizer/plan_trace.h"
 #include "optimizer/selectivity.h"
 #include "plan/physical_plan.h"
 
@@ -32,10 +33,13 @@ struct AccessPath {
 /// scan, plus — per index — the bounded scan derived from sargable conjuncts
 /// (leading-column equalities then one range) and, when the index key order
 /// could be interesting, the unbounded index scan.
+/// `trace` (optional) receives one "access_path" event per candidate
+/// considered, including indexes rejected before costing.
 Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, int rel_index,
                                                      const SelectivityEstimator& estimator,
                                                      const CostModel& cost_model,
-                                                     bool enable_index_scans);
+                                                     bool enable_index_scans,
+                                                     PlanTrace* trace = nullptr);
 
 /// Builds the physical subplan for one access path (scan node, residual
 /// filter attached), with estimates filled in.

@@ -65,13 +65,51 @@ int JoinEnumerator::Intern(Candidate cand) {
   return static_cast<int>(arena_.size() - 1);
 }
 
+std::string JoinEnumerator::SetName(JoinSet set) const {
+  std::string out = "{";
+  bool first = true;
+  set.ForEach([&](int r) {
+    if (!first) out += ",";
+    first = false;
+    out += graph_->relations[r].alias;
+  });
+  out += "}";
+  return out;
+}
+
+std::string JoinEnumerator::CandidateName(const Candidate& cand) const {
+  if (cand.is_scan) {
+    const AccessPath& path = access_paths_[cand.rel_index][cand.path_index];
+    const BaseRelation& rel = graph_->relations[cand.rel_index];
+    return path.index == nullptr ? "SeqScan(" + rel.alias + ")"
+                                 : "IndexScan(" + rel.alias + " via " + path.index->name + ")";
+  }
+  return std::string(JoinMethodToString(cand.method)) + "(" + SetName(arena_[cand.left].set) +
+         " x " + SetName(arena_[cand.right].set) + ")";
+}
+
+void JoinEnumerator::TraceCandidate(JoinSet set, const Candidate& cand, const char* action,
+                                    const char* reason, const char* phase) const {
+  if (options_.trace == nullptr || maximize_) return;
+  PlanTraceEvent ev;
+  ev.phase = phase != nullptr ? phase : (cand.is_scan ? "access_path" : "join");
+  ev.target = SetName(set);
+  ev.candidate = CandidateName(cand);
+  ev.rows = cand.rows;
+  ev.cost = cand.cost;
+  ev.total_cost = cost_model_->Total(cand.cost);
+  ev.action = action;
+  ev.reason = reason;
+  options_.trace->Add(std::move(ev));
+}
+
 Status JoinEnumerator::SeedBaseRelations() {
   access_paths_.clear();
   for (size_t i = 0; i < graph_->relations.size(); ++i) {
     RELOPT_ASSIGN_OR_RETURN(
         std::vector<AccessPath> paths,
         EnumerateAccessPaths(*graph_, static_cast<int>(i), *estimator_, *cost_model_,
-                             options_.enable_index_scans));
+                             options_.enable_index_scans, maximize_ ? nullptr : options_.trace));
     const BaseRelation& rel = graph_->relations[i];
     double base_rows = 1, base_pages = 1;
     if (rel.table->has_stats()) {
@@ -359,9 +397,16 @@ void JoinEnumerator::KeepCandidates(JoinSet set, std::vector<Candidate> candidat
         break;
       }
     }
-    if (!dominated && kept.size() < options_.max_candidates_per_set) {
-      kept.push_back(std::move(c));
+    if (dominated) {
+      TraceCandidate(set, c, "pruned", "dominated by a cheaper candidate with compatible order");
+      continue;
     }
+    if (kept.size() >= options_.max_candidates_per_set) {
+      TraceCandidate(set, c, "pruned", "exceeds max_candidates_per_set");
+      continue;
+    }
+    TraceCandidate(set, c, "kept", "");
+    kept.push_back(std::move(c));
   }
   slot.clear();
   for (Candidate& c : kept) {
@@ -683,6 +728,8 @@ Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
       }
     }
   }
+
+  TraceCandidate(arena_[final_id].set, arena_[final_id], "chosen", "", "final");
 
   JoinEnumResult result;
   RELOPT_ASSIGN_OR_RETURN(result.plan, BuildPlan(final_id));

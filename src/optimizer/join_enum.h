@@ -52,6 +52,10 @@ struct JoinEnumOptions {
   uint64_t random_seed = 42;
   /// Cap on kept candidates per DP subset (dominance-pruned first).
   size_t max_candidates_per_set = 8;
+  /// Optional decision log (not owned). When set, every candidate considered
+  /// is recorded with its cost and — for losers — the prune reason. The
+  /// worst-case strategy never traces (its "pruning" is inverted on purpose).
+  PlanTrace* trace = nullptr;
 };
 
 struct JoinEnumResult {
@@ -122,6 +126,17 @@ class JoinEnumerator {
 
   /// Adds `cand` to the arena, returns its id.
   int Intern(Candidate cand);
+
+  /// "{a,b,c}" from the aliases in `set`.
+  std::string SetName(JoinSet set) const;
+  /// Human-readable candidate label, e.g. "IndexScan(o via o_pk)" or
+  /// "hash({c,o} x {l})".
+  std::string CandidateName(const Candidate& cand) const;
+  /// Records one decision in options_.trace (no-op when tracing is off or
+  /// during worst-case search). `phase` overrides the default
+  /// scan→"access_path" / join→"join" classification.
+  void TraceCandidate(JoinSet set, const Candidate& cand, const char* action, const char* reason,
+                      const char* phase = nullptr) const;
 
   Result<int> RunDp(bool left_deep_only, bool maximize);
   Result<int> RunGreedy();

@@ -49,6 +49,7 @@ Result<Optimizer::Translated> Optimizer::TranslateJoinBlock(LogicalPtr node,
   }
   SelectivityEstimator estimator(&aliases_, options_.stats_mode);
   JoinEnumOptions join_options = options_.join;
+  join_options.trace = info->trace;
   JoinEnumerator enumerator(&graph, &estimator, &cost_model_, join_options);
   RELOPT_ASSIGN_OR_RETURN(JoinEnumResult result, enumerator.Run(required_order));
   info->enum_stats = enumerator.stats();

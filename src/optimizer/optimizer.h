@@ -29,6 +29,9 @@ struct OptimizeInfo {
   double est_rows = 0;
   Cost est_cost;
   bool order_from_plan = false;  ///< ORDER BY satisfied without a Sort node
+  /// Optional decision log (not owned); when set, enumeration records every
+  /// candidate considered and why losers were discarded.
+  PlanTrace* trace = nullptr;
 };
 
 /// \brief Cost-based optimizer in the System-R architecture:

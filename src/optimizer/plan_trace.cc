@@ -1,0 +1,51 @@
+#include "optimizer/plan_trace.h"
+
+#include "util/str_util.h"
+
+namespace relopt {
+
+size_t PlanTrace::CountPruned() const {
+  size_t n = 0;
+  for (const PlanTraceEvent& e : events_) {
+    if (e.action == "pruned") ++n;
+  }
+  return n;
+}
+
+size_t PlanTrace::CountKept() const {
+  size_t n = 0;
+  for (const PlanTraceEvent& e : events_) {
+    if (e.action == "kept" || e.action == "chosen") ++n;
+  }
+  return n;
+}
+
+std::string PlanTrace::ToText() const {
+  std::string out;
+  for (const PlanTraceEvent& e : events_) {
+    out += StringPrintf("[%s] %s %s: rows=%.1f io=%.1f cpu=%.0f total=%.2f %s", e.phase.c_str(),
+                        e.target.c_str(), e.candidate.c_str(), e.rows, e.cost.page_ios,
+                        e.cost.cpu_tuples, e.total_cost, e.action.c_str());
+    if (!e.reason.empty()) out += " (" + e.reason + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PlanTrace::ToJson() const {
+  std::string out = "{\"events\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const PlanTraceEvent& e = events_[i];
+    if (i > 0) out += ",";
+    out += StringPrintf(
+        "{\"phase\":\"%s\",\"target\":\"%s\",\"candidate\":\"%s\",\"rows\":%.2f,"
+        "\"io\":%.2f,\"cpu\":%.2f,\"total\":%.4f,\"action\":\"%s\",\"reason\":\"%s\"}",
+        JsonEscape(e.phase).c_str(), JsonEscape(e.target).c_str(), JsonEscape(e.candidate).c_str(),
+        e.rows, e.cost.page_ios, e.cost.cpu_tuples, e.total_cost, JsonEscape(e.action).c_str(),
+        JsonEscape(e.reason).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace relopt

@@ -1,0 +1,54 @@
+// PlanTrace: an optimizer decision log.
+//
+// A sink threaded through access-path enumeration and join enumeration that
+// records every candidate considered — its estimated rows and cost — and, for
+// candidates that lost, why they were discarded (dominated, over the
+// candidate cap, no usable index bounds). Dumpable as aligned text or as
+// structured JSON (schema in DESIGN.md "Observability").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/physical_plan.h"
+
+namespace relopt {
+
+/// One optimizer decision about one candidate.
+struct PlanTraceEvent {
+  /// Enumeration stage: "access_path" | "join" | "final".
+  std::string phase;
+  /// The relation set being planned, e.g. "{o}" or "{c,o,l}".
+  std::string target;
+  /// Candidate description, e.g. "IndexScan(o via o_pk)" or
+  /// "hash({c,o} ⨝ {l})".
+  std::string candidate;
+  double rows = 0;
+  Cost cost;
+  double total_cost = 0;  ///< weighted total the comparison used
+  /// "kept" | "pruned" | "chosen".
+  std::string action;
+  /// Non-empty iff action == "pruned": the stated reason.
+  std::string reason;
+};
+
+/// \brief Collects PlanTraceEvents during one Optimize() call.
+class PlanTrace {
+ public:
+  void Add(PlanTraceEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<PlanTraceEvent>& events() const { return events_; }
+  size_t CountPruned() const;
+  size_t CountKept() const;
+
+  /// Aligned text dump, one event per line.
+  std::string ToText() const;
+  /// {"events":[{phase,target,candidate,rows,io,cpu,total,action,reason}...]}
+  std::string ToJson() const;
+
+ private:
+  std::vector<PlanTraceEvent> events_;
+};
+
+}  // namespace relopt

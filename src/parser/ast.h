@@ -95,6 +95,7 @@ struct ExplainStmt : Statement {
   ExplainStmt() : Statement(StatementKind::kExplain) {}
   StatementPtr inner;   // the SELECT being explained
   bool analyze = false; // EXPLAIN ANALYZE: run and report actual rows/IO
+  bool trace = false;   // EXPLAIN TRACE: include the optimizer decision log
 };
 
 struct AnalyzeStmt : Statement {

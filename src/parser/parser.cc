@@ -167,6 +167,7 @@ class Parser {
     RELOPT_RETURN_NOT_OK(ExpectWord("explain"));
     auto stmt = std::make_unique<ExplainStmt>();
     stmt->analyze = MatchWord("analyze");
+    stmt->trace = MatchWord("trace");
     RELOPT_ASSIGN_OR_RETURN(stmt->inner, ParseSelect());
     return StatementPtr(std::move(stmt));
   }

@@ -1,13 +1,27 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <mutex>
+#include <utility>
 
 namespace relopt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Guards the sink pointer and serializes emission, so concurrent (or
+// re-entrant) log lines never interleave mid-line.
+std::mutex& SinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,10 +38,29 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+void Emit(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level, line);
+  } else {
+    // One fwrite per line keeps stderr output whole even when interleaved
+    // with other writers.
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
+}
 
 namespace internal {
 
@@ -41,9 +74,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  Emit(level_, stream_.str());
   if (level_ == LogLevel::kFatal) {
-    std::cerr.flush();
     std::abort();
   }
 }

@@ -1,6 +1,7 @@
 // Minimal leveled logging + assertion macros.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 }
 /// library users are not spammed.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives one fully-formatted log line (including the trailing newline).
+/// Sinks are invoked under a global mutex, so emission is atomic per line
+/// even when instrumentation code logs from timer/attribution scopes.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the log sink; a null sink restores the default (stderr).
+/// Returns nothing; tests install a capturing sink and restore with
+/// `SetLogSink(nullptr)`.
+void SetLogSink(LogSink sink);
 
 namespace internal {
 

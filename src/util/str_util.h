@@ -38,6 +38,10 @@ std::string FormatDouble(double v);
 /// Escapes a string for display inside single quotes (doubling quotes).
 std::string EscapeSqlString(std::string_view s);
 
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
 /// Repeats `s` `n` times.
 std::string Repeat(std::string_view s, size_t n);
 

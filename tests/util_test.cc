@@ -3,7 +3,9 @@
 #include <set>
 
 #include "util/bitset.h"
+#include "util/logging.h"
 #include "util/result.h"
+#include "util/timer.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/str_util.h"
@@ -244,6 +246,48 @@ TEST(SubsetIteratorTest, EnumeratesAllProperNonEmptySubsets) {
   for (uint64_t s : subsets) {
     EXPECT_TRUE(JoinSet(s).IsSubsetOf(set));
   }
+}
+
+// --------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, SinkCapturesCompleteLines) {
+  std::vector<std::string> lines;
+  SetLogSink([&lines](LogLevel, const std::string& line) { lines.push_back(line); });
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  RELOPT_LOG(kInfo) << "hello " << 42;
+  RELOPT_LOG(kWarn) << "second";
+  RELOPT_LOG(kDebug) << "dropped below threshold";
+  SetLogLevel(old_level);
+  SetLogSink(nullptr);  // restore stderr
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("hello 42"), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '\n');  // one complete line per emission
+  EXPECT_NE(lines[1].find("second"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, ScopedTimerAccumulates) {
+  uint64_t nanos = 0;
+  {
+    ScopedTimer t(&nanos);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  uint64_t first = nanos;
+  EXPECT_GT(first, 0u);
+  {
+    ScopedTimer t(&nanos);
+  }
+  EXPECT_GE(nanos, first);  // accumulates, never resets
+}
+
+TEST(TimerTest, MonotonicNanosNeverDecreases) {
+  uint64_t a = MonotonicNanos();
+  uint64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
 }
 
 }  // namespace
