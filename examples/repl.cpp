@@ -9,10 +9,12 @@
 //   \metrics            counters from the last query
 //   \mode <dp|leftdeep|greedy|exhaustive|random|worst|naive>   optimizer mode
 //   \stats_mode <nostats|systemr|histogram>                    estimation mode
+//   \parallel <n>       worker threads for SELECT execution (1 = serial)
 //   \demo               load a small demo dataset
 //   \quit
 //
 // Everything else is SQL (multi-statement scripts separated by ';' work).
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -29,7 +31,8 @@ void PrintHelp() {
       "SQL: CREATE TABLE/INDEX, INSERT, DELETE, ANALYZE, SELECT, EXPLAIN [ANALYZE]\n"
       "  \\help  \\tables  \\stats <t>  \\metrics  \\demo  \\quit\n"
       "  \\mode <dp|leftdeep|greedy|exhaustive|random|worst|naive>\n"
-      "  \\stats_mode <nostats|systemr|histogram>\n";
+      "  \\stats_mode <nostats|systemr|histogram>\n"
+      "  \\parallel <n>   worker threads for SELECT execution (1 = serial)\n";
 }
 
 void PrintTables(Database* db) {
@@ -151,6 +154,14 @@ int main() {
         std::cout << (SetMode(&db, arg) ? "ok\n" : "unknown mode '" + arg + "'\n");
       } else if (cmd == "stats_mode") {
         std::cout << (SetStatsMode(&db, arg) ? "ok\n" : "unknown stats mode '" + arg + "'\n");
+      } else if (cmd == "parallel") {
+        int n = std::atoi(arg.c_str());
+        if (n >= 1) {
+          db.set_parallelism(static_cast<size_t>(n));
+          std::cout << "parallelism set to " << n << "\n";
+        } else {
+          std::cout << "usage: \\parallel <n >= 1>\n";
+        }
       } else {
         std::cout << "unknown command; \\help\n";
       }

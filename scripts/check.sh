@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds and tests both configurations: the default RelWithDebInfo build and
-# an ASAN+UBSan build. Run from the repo root.
+# Builds and tests three configurations: the default RelWithDebInfo build, an
+# ASAN+UBSan build, and a TSan build running the concurrency tests. Run from
+# the repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,5 +17,11 @@ echo "== asan+ubsan build =="
 cmake -B build-asan -S . -DASAN=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== tsan build (concurrency tests) =="
+cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|BufferPoolStress|ParallelDifferential'
 
 echo "All checks passed."

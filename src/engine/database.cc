@@ -64,6 +64,18 @@ void Database::ResetCounters() {
   pool_->ResetStats();
 }
 
+void Database::set_parallelism(size_t n) {
+  if (n <= 1) {
+    parallelism_ = 1;
+    thread_pool_.reset();
+    return;
+  }
+  if (thread_pool_ == nullptr || thread_pool_->num_threads() != n) {
+    thread_pool_ = std::make_unique<ThreadPool>(n);
+  }
+  parallelism_ = n;
+}
+
 Result<LogicalPtr> Database::BindQuery(const std::string& select_sql) {
   RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(select_sql));
   if (stmt->kind != StatementKind::kSelect) {
@@ -96,7 +108,7 @@ Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
   IoStats io_before = disk_->stats();
   BufferPoolStats pool_before = pool_->stats();
 
-  ExecContext ctx(catalog_.get(), pool_.get());
+  ExecContext ctx(catalog_.get(), pool_.get(), thread_pool_.get(), parallelism_);
   RELOPT_ASSIGN_OR_RETURN(ExecutorPtr root, BuildExecutor(&ctx, &plan));
   RELOPT_RETURN_NOT_OK(root->Init());
   QueryResult result;
@@ -107,6 +119,9 @@ Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
     if (!has) break;
     result.rows.push_back(std::move(t));
   }
+  // Stop any still-running parallel workers (a LIMIT can abandon a Gather
+  // mid-stream) before snapshotting counters and per-operator stats.
+  ctx.Quiesce();
 
   IoStats io_after = disk_->stats();
   BufferPoolStats pool_after = pool_->stats();

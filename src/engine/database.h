@@ -14,6 +14,7 @@
 #include "parser/parser.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "util/thread_pool.h"
 
 namespace relopt {
 
@@ -46,8 +47,9 @@ struct ExecutionMetrics {
   bool order_from_plan = false;
 };
 
-/// \brief An embedded single-threaded relational engine with a cost-based
-/// optimizer. See README.md for the quickstart.
+/// \brief An embedded relational engine with a cost-based optimizer. Queries
+/// run serially by default; set_parallelism(n) turns on morsel-driven
+/// intra-query parallelism (see DESIGN.md). See README.md for the quickstart.
 class Database {
  public:
   explicit Database(SessionOptions options = SessionOptions{});
@@ -96,6 +98,15 @@ class Database {
   /// has never been on).
   const PlanTrace* last_trace() const { return last_trace_.get(); }
 
+  /// Sets the intra-query parallelism degree. `n <= 1` reverts to fully
+  /// serial execution (the default) with no thread pool at all; `n > 1`
+  /// creates an `n`-thread pool and parallelizable plan subtrees run as `n`
+  /// worker fragments under a Gather. Plans themselves are unchanged —
+  /// parallelism is decided at executor-build time. Not thread-safe against
+  /// concurrent Execute calls; the Database itself is a single-session object.
+  void set_parallelism(size_t n);
+  size_t parallelism() const { return parallelism_; }
+
   /// Zeroes disk + pool counters (benchmarks call between phases).
   void ResetCounters();
 
@@ -114,6 +125,8 @@ class Database {
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<ThreadPool> thread_pool_;
+  size_t parallelism_ = 1;
   ExecutionMetrics metrics_;
   PlanProfile profile_;
   std::unique_ptr<PlanTrace> last_trace_;

@@ -1,16 +1,52 @@
 #include "exec/executor.h"
 
+#include <algorithm>
+
+#include "storage/io_counters.h"
+#include "util/thread_pool.h"
+
 namespace relopt {
 
-ExecContext::ExecContext(Catalog* catalog, BufferPool* pool)
-    : catalog_(catalog), pool_(pool), epoch_nanos_(MonotonicNanos()) {
-  const IoStats& io = pool_->disk()->stats();
-  const BufferPoolStats& ps = pool_->stats();
-  cp_reads_ = io.page_reads;
-  cp_writes_ = io.page_writes;
-  cp_hits_ = ps.hits;
-  cp_misses_ = ps.misses;
+namespace {
+
+/// The calling thread's attribution frame: which OperatorStats is charged for
+/// I/O on this thread, and the thread-local counter values at the last
+/// switch. Thread-local so concurrent workers never race on checkpoints.
+struct ThreadAttribution {
+  OperatorStats* owner = nullptr;
+  ThreadIoCounters checkpoint;
+};
+
+ThreadAttribution& LocalAttribution() {
+  thread_local ThreadAttribution attribution;
+  return attribution;
 }
+
+}  // namespace
+
+void OperatorStats::Merge(const OperatorStats& other) {
+  init_calls += other.init_calls;
+  next_calls += other.next_calls;
+  rows_produced += other.rows_produced;
+  wall_nanos += other.wall_nanos;
+  if (other.started) {
+    first_start_nanos =
+        started ? std::min(first_start_nanos, other.first_start_nanos) : other.first_start_nanos;
+    started = true;
+  }
+  page_reads += other.page_reads;
+  page_writes += other.page_writes;
+  pool_hits += other.pool_hits;
+  pool_misses += other.pool_misses;
+}
+
+ExecContext::ExecContext(Catalog* catalog, BufferPool* pool, ThreadPool* thread_pool,
+                         size_t parallelism)
+    : catalog_(catalog),
+      pool_(pool),
+      thread_pool_(thread_pool),
+      parallelism_(thread_pool == nullptr ? 1 : std::max<size_t>(1, parallelism)),
+      epoch_nanos_(MonotonicNanos()) {}
 
 ExecContext::~ExecContext() {
   for (FileId id : scratch_files_) {
@@ -20,34 +56,35 @@ ExecContext::~ExecContext() {
 }
 
 OperatorStats* ExecContext::SwitchAttribution(OperatorStats* next) {
-  const IoStats& io = pool_->disk()->stats();
-  const BufferPoolStats& ps = pool_->stats();
-  if (io_owner_ != nullptr) {
-    io_owner_->page_reads += io.page_reads - cp_reads_;
-    io_owner_->page_writes += io.page_writes - cp_writes_;
-    io_owner_->pool_hits += ps.hits - cp_hits_;
-    io_owner_->pool_misses += ps.misses - cp_misses_;
+  ThreadAttribution& attr = LocalAttribution();
+  const ThreadIoCounters& now = LocalIoCounters();
+  if (attr.owner != nullptr) {
+    attr.owner->page_reads += now.page_reads - attr.checkpoint.page_reads;
+    attr.owner->page_writes += now.page_writes - attr.checkpoint.page_writes;
+    attr.owner->pool_hits += now.pool_hits - attr.checkpoint.pool_hits;
+    attr.owner->pool_misses += now.pool_misses - attr.checkpoint.pool_misses;
   }
-  cp_reads_ = io.page_reads;
-  cp_writes_ = io.page_writes;
-  cp_hits_ = ps.hits;
-  cp_misses_ = ps.misses;
-  OperatorStats* prev = io_owner_;
-  io_owner_ = next;
+  attr.checkpoint = now;
+  OperatorStats* prev = attr.owner;
+  attr.owner = next;
   return prev;
 }
 
 Result<HeapFile> ExecContext::CreateScratchHeap() {
   RELOPT_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_));
+  std::lock_guard<std::mutex> lock(scratch_mu_);
   scratch_files_.push_back(heap.file_id());
   return heap;
 }
 
 void ExecContext::ReleaseScratchHeap(FileId file_id) {
-  for (auto it = scratch_files_.begin(); it != scratch_files_.end(); ++it) {
-    if (*it == file_id) {
-      scratch_files_.erase(it);
-      break;
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    for (auto it = scratch_files_.begin(); it != scratch_files_.end(); ++it) {
+      if (*it == file_id) {
+        scratch_files_.erase(it);
+        break;
+      }
     }
   }
   (void)pool_->DropFilePages(file_id);

@@ -1,7 +1,10 @@
 // Volcano-style executor interface and execution context.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +20,7 @@ namespace relopt {
 
 class Executor;
 class PhysicalNode;
+class ThreadPool;
 
 /// \brief Per-operator runtime counters, maintained by the Executor base
 /// around every Init()/Next() call.
@@ -24,8 +28,13 @@ class PhysicalNode;
 /// `wall_nanos` is inclusive (children's time counts toward their ancestors,
 /// as in Postgres EXPLAIN ANALYZE). The I/O fields are exclusive ("self"):
 /// page and pool traffic is attributed to the innermost operator whose
-/// Init/Next frame was active when it happened, so per-node I/O sums to the
-/// query totals.
+/// Init/Next frame was active *on the executing thread* when it happened, so
+/// per-node I/O sums to the query totals even under parallel execution
+/// (attribution diffs thread-local counters; see storage/io_counters.h).
+///
+/// One Executor instance is driven by exactly one thread, so the fields are
+/// plain integers; parallel plans run one executor clone per worker and merge
+/// the clones' stats after the workers have been joined.
 struct OperatorStats {
   uint64_t init_calls = 0;   ///< stream (re)starts; >1 under nested loops
   uint64_t next_calls = 0;
@@ -39,6 +48,10 @@ struct OperatorStats {
   uint64_t page_writes = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+
+  /// Accumulates `other` into this (parallel-worker merge). Wall time sums
+  /// (total busy time across workers); first_start takes the earliest.
+  void Merge(const OperatorStats& other);
 };
 
 /// \brief Per-query execution context: catalog + buffer pool + scratch-file
@@ -49,7 +62,11 @@ struct OperatorStats {
 /// the same DiskManager the optimizer models.
 class ExecContext {
  public:
-  ExecContext(Catalog* catalog, BufferPool* pool);
+  /// `thread_pool` (with `parallelism` > 1) enables parallel executor
+  /// construction; the pool must have at least `parallelism` threads and must
+  /// outlive the context.
+  ExecContext(Catalog* catalog, BufferPool* pool, ThreadPool* thread_pool = nullptr,
+              size_t parallelism = 1);
   ~ExecContext();
 
   ExecContext(const ExecContext&) = delete;
@@ -57,10 +74,13 @@ class ExecContext {
 
   Catalog* catalog() const { return catalog_; }
   BufferPool* pool() const { return pool_; }
+  ThreadPool* thread_pool() const { return thread_pool_; }
+  /// Worker count for parallel fragments (1 = serial execution).
+  size_t parallelism() const { return parallelism_; }
 
-  /// Creates a scratch heap file (freed when the context dies).
+  /// Creates a scratch heap file (freed when the context dies). Thread-safe.
   Result<HeapFile> CreateScratchHeap();
-  /// Frees one scratch heap early (e.g. merged sort runs).
+  /// Frees one scratch heap early (e.g. merged sort runs). Thread-safe.
   void ReleaseScratchHeap(FileId file_id);
 
   /// Memory budget (in pages) for sort runs / hash tables / BNLJ blocks,
@@ -69,13 +89,15 @@ class ExecContext {
   size_t operator_memory_pages() const;
 
   /// Total tuples passed through operators (the "RSI calls" actual).
-  uint64_t tuples_processed = 0;
+  std::atomic<uint64_t> tuples_processed{0};
 
   // --- per-operator I/O attribution ---------------------------------------
 
-  /// Flushes the disk/pool counter delta since the last switch into the
-  /// currently attributed stats (if any), then makes `next` the attribution
-  /// target. Returns the previous target so scopes can nest.
+  /// Flushes the calling thread's I/O-counter delta since the last switch
+  /// into the thread's currently attributed stats (if any), then makes `next`
+  /// the attribution target for this thread. Returns the previous target so
+  /// scopes can nest. Attribution state is thread-local: each worker thread
+  /// charges exactly the I/O it performed.
   OperatorStats* SwitchAttribution(OperatorStats* next);
 
   /// Nanoseconds since this context was created (Chrome-trace timestamps).
@@ -83,25 +105,45 @@ class ExecContext {
 
   // --- executor registry (plan profiling) ----------------------------------
 
-  /// Records which executor implements `node`; BuildExecutor calls this so
-  /// EXPLAIN ANALYZE can map plan nodes to their runtime stats.
+  /// Records that `exec` implements `node`; BuildExecutor calls this so
+  /// EXPLAIN ANALYZE can map plan nodes to their runtime stats. A node may
+  /// have several executors (one clone per parallel worker); the profile
+  /// merges their stats. Executors are registered at build time (single
+  /// threaded), never while workers run.
   void RegisterExecutor(const PhysicalNode* node, const Executor* exec) {
-    executors_[node] = exec;
+    executors_[node].push_back(exec);
   }
-  /// The executor built for `node`, or nullptr.
-  const Executor* FindExecutor(const PhysicalNode* node) const {
+  /// The executors built for `node` (nullptr if none).
+  const std::vector<const Executor*>* FindExecutors(const PhysicalNode* node) const {
     auto it = executors_.find(node);
-    return it == executors_.end() ? nullptr : it->second;
+    return it == executors_.end() ? nullptr : &it->second;
+  }
+
+  // --- parallel-work quiescing ---------------------------------------------
+
+  /// Registers a hook that stops in-flight parallel work (a Gather cancelling
+  /// its workers). Called at executor-build time, single threaded.
+  void AddQuiesceHook(std::function<void()> hook) {
+    quiesce_hooks_.push_back(std::move(hook));
+  }
+  /// Stops all parallel work. The caller (coordinating thread) MUST run this
+  /// after the root iterator is abandoned and before reading executor stats
+  /// or global I/O counters: an operator like LIMIT can stop consuming while
+  /// workers are still producing. Idempotent; hooks outlive their executors
+  /// only if this is called while the executor tree is alive.
+  void Quiesce() {
+    for (const std::function<void()>& hook : quiesce_hooks_) hook();
   }
 
  private:
   Catalog* catalog_;
   BufferPool* pool_;
+  ThreadPool* thread_pool_;
+  size_t parallelism_;
+  std::mutex scratch_mu_;  ///< guards scratch_files_
   std::vector<FileId> scratch_files_;
-  std::unordered_map<const PhysicalNode*, const Executor*> executors_;
-
-  OperatorStats* io_owner_ = nullptr;  ///< current attribution target
-  uint64_t cp_reads_ = 0, cp_writes_ = 0, cp_hits_ = 0, cp_misses_ = 0;
+  std::unordered_map<const PhysicalNode*, std::vector<const Executor*>> executors_;
+  std::vector<std::function<void()>> quiesce_hooks_;
   uint64_t epoch_nanos_ = 0;
 };
 
@@ -165,7 +207,7 @@ class Executor {
   /// Bump shared + per-node counters when emitting a row.
   void CountRow() {
     ++rows_produced_;
-    ++ctx_->tuples_processed;
+    ctx_->tuples_processed.fetch_add(1, std::memory_order_relaxed);
   }
   /// Reset per-node counters on Init (restarts recount).
   void ResetCounters() { rows_produced_ = 0; }

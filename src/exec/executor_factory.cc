@@ -11,6 +11,7 @@
 #include "exec/materialize.h"
 #include "exec/nested_loop_join.h"
 #include "exec/project.h"
+#include "exec/parallel_plan.h"
 #include "exec/seq_scan.h"
 #include "exec/sort_merge_join.h"
 #include "exec/values_exec.h"
@@ -27,7 +28,12 @@ ExecutorPtr Register(ExecContext* ctx, const PhysicalNode* node, ExecutorPtr exe
 }
 }  // namespace
 
-Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
+Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan,
+                                  bool allow_parallel) {
+  if (allow_parallel && ctx->parallelism() > 1 && ctx->thread_pool() != nullptr &&
+      SubtreeParallelizable(*plan)) {
+    return BuildGatherExecutor(ctx, plan);
+  }
   switch (plan->kind()) {
     case PhysicalNodeKind::kSeqScan: {
       const auto* node = static_cast<const PhysSeqScan*>(plan);
@@ -69,33 +75,35 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
     }
     case PhysicalNodeKind::kFilter: {
       const auto* node = static_cast<const PhysFilter*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       return Register(ctx, plan,
           std::make_unique<FilterExecutor>(ctx, std::move(child), node->predicate()));
     }
     case PhysicalNodeKind::kProject: {
       const auto* node = static_cast<const PhysProject*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       return Register(ctx, plan,
           std::make_unique<ProjectExecutor>(ctx, node->schema(), std::move(child), &node->exprs()));
     }
     case PhysicalNodeKind::kNestedLoopJoin: {
       const auto* node = static_cast<const PhysNestedLoopJoin*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0), allow_parallel));
+      // The inner child is re-Init per outer row; never put a Gather there.
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1), false));
       return Register(ctx, plan, std::make_unique<NestedLoopJoinExecutor>(
           ctx, std::move(outer), std::move(inner), node->predicate()));
     }
     case PhysicalNodeKind::kBlockNestedLoopJoin: {
       const auto* node = static_cast<const PhysBlockNestedLoopJoin*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0), allow_parallel));
+      // Re-scanned once per outer block; keep it serial.
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr inner, BuildExecutor(ctx, node->child(1), false));
       return Register(ctx, plan, std::make_unique<BlockNestedLoopJoinExecutor>(
           ctx, std::move(outer), std::move(inner), node->predicate(), node->block_pages()));
     }
     case PhysicalNodeKind::kIndexNestedLoopJoin: {
       const auto* node = static_cast<const PhysIndexNestedLoopJoin*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr outer, BuildExecutor(ctx, node->child(0), allow_parallel));
       RELOPT_ASSIGN_OR_RETURN(TableInfo * table, ctx->catalog()->GetTable(node->inner_table()));
       RELOPT_ASSIGN_OR_RETURN(IndexInfo * index, ctx->catalog()->GetIndex(node->index_name()));
       return Register(ctx, plan, std::make_unique<IndexNestedLoopJoinExecutor>(
@@ -104,23 +112,23 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
     }
     case PhysicalNodeKind::kSortMergeJoin: {
       const auto* node = static_cast<const PhysSortMergeJoin*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr left, BuildExecutor(ctx, node->child(0)));
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr right, BuildExecutor(ctx, node->child(1)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr left, BuildExecutor(ctx, node->child(0), allow_parallel));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr right, BuildExecutor(ctx, node->child(1), allow_parallel));
       return Register(ctx, plan, std::make_unique<SortMergeJoinExecutor>(
           ctx, std::move(left), std::move(right), node->left_keys(), node->right_keys(),
           node->residual()));
     }
     case PhysicalNodeKind::kHashJoin: {
       const auto* node = static_cast<const PhysHashJoin*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr build, BuildExecutor(ctx, node->child(0)));
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr probe, BuildExecutor(ctx, node->child(1)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr build, BuildExecutor(ctx, node->child(0), allow_parallel));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr probe, BuildExecutor(ctx, node->child(1), allow_parallel));
       return Register(ctx, plan, std::make_unique<HashJoinExecutor>(
           ctx, std::move(build), std::move(probe), node->build_keys(), node->probe_keys(),
           node->residual(), node->output_probe_first()));
     }
     case PhysicalNodeKind::kSort: {
       const auto* node = static_cast<const PhysSort*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       std::vector<SortKeySpec> keys;
       for (const PhysSort::Key& k : node->keys()) {
         keys.push_back(SortKeySpec{k.expr.get(), k.desc});
@@ -130,7 +138,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
     }
     case PhysicalNodeKind::kAggregate: {
       const auto* node = static_cast<const PhysAggregate*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       std::vector<const Expression*> group_exprs;
       for (const ExprPtr& g : node->group_by()) group_exprs.push_back(g.get());
       std::vector<AggSpecExec> aggs;
@@ -142,7 +150,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
     }
     case PhysicalNodeKind::kLimit: {
       const auto* node = static_cast<const PhysLimit*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       return Register(ctx, plan, std::make_unique<LimitExecutor>(ctx, std::move(child), node->limit()));
     }
     case PhysicalNodeKind::kValues: {
@@ -151,7 +159,7 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan) {
     }
     case PhysicalNodeKind::kMaterialize: {
       const auto* node = static_cast<const PhysMaterialize*>(plan);
-      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0)));
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       return Register(ctx, plan, std::make_unique<MaterializeExecutor>(ctx, std::move(child)));
     }
   }

@@ -9,6 +9,13 @@ namespace relopt {
 /// \brief Instantiates executors for `plan`. The plan must outlive the
 /// executor tree: executors reference the plan's expressions and literal rows
 /// rather than copying them.
-Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan);
+///
+/// When `ctx->parallelism() > 1`, maximal parallelizable subtrees (see
+/// SubtreeParallelizable) become Gather-over-worker-fragments; the rest of
+/// the tree is built serially. `allow_parallel = false` forbids Gathers in
+/// this subtree — used for inner children of nested-loop joins, whose
+/// repeated re-Inits would relaunch workers per outer row.
+Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan,
+                                  bool allow_parallel = true);
 
 }  // namespace relopt

@@ -1,0 +1,131 @@
+#include "exec/gather.h"
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace relopt {
+
+GatherExecutor::GatherExecutor(ExecContext* ctx, Schema schema, std::vector<ExecutorPtr> workers,
+                               std::vector<std::shared_ptr<ParallelSharedState>> shared_states)
+    : Executor(ctx, std::move(schema)),
+      workers_(std::move(workers)),
+      shared_states_(std::move(shared_states)) {
+  // An abandoned Gather (e.g. under LIMIT) leaves workers producing;
+  // ExecContext::Quiesce lets the coordinator stop them before it reads
+  // stats or I/O counters.
+  ctx->AddQuiesceHook([this] { StopWorkers(); });
+}
+
+GatherExecutor::~GatherExecutor() { StopWorkers(); }
+
+void GatherExecutor::StopWorkers() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!launched_) return;
+  cancelled_ = true;
+  producer_cv_.notify_all();
+  // Workers blocked on a full queue wake on cancelled_; workers inside a
+  // barrier always reach it (build phases never touch the queue), so every
+  // task terminates.
+  consumer_cv_.wait(lock, [this] { return running_workers_ == 0; });
+  queue_.clear();
+  launched_ = false;
+}
+
+Status GatherExecutor::InitImpl() {
+  StopWorkers();
+  ResetCounters();
+  batch_.clear();
+  batch_idx_ = 0;
+  for (const std::shared_ptr<ParallelSharedState>& s : shared_states_) s->Reset();
+
+  ThreadPool* pool = ctx_->thread_pool();
+  RELOPT_DCHECK(pool != nullptr && pool->num_threads() >= workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = false;
+    launched_ = true;
+    has_error_ = false;
+    worker_status_.assign(workers_.size(), Status::OK());
+    running_workers_ = workers_.size();
+  }
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    pool->Submit([this, i] { WorkerMain(i); });
+  }
+  return Status::OK();
+}
+
+bool GatherExecutor::PushBatch(std::vector<Tuple>* batch) {
+  // Bound the queue so fast workers don't materialize the whole result:
+  // a couple of batches in flight per worker keeps everyone busy.
+  const size_t max_queue = 2 * workers_.size() + 2;
+  std::unique_lock<std::mutex> lock(mu_);
+  producer_cv_.wait(lock, [&] { return cancelled_ || queue_.size() < max_queue; });
+  if (cancelled_) return false;
+  queue_.push_back(std::move(*batch));
+  batch->clear();
+  consumer_cv_.notify_one();
+  return true;
+}
+
+void GatherExecutor::WorkerMain(size_t worker_idx) {
+  Executor* exec = workers_[worker_idx].get();
+  Status st = exec->Init();
+  if (st.ok()) {
+    std::vector<Tuple> batch;
+    batch.reserve(kBatchRows);
+    Tuple t;
+    while (true) {
+      Result<bool> has = exec->Next(&t);
+      if (!has.ok()) {
+        st = has.status();
+        break;
+      }
+      if (!*has) break;
+      batch.push_back(std::move(t));
+      if (batch.size() >= kBatchRows && !PushBatch(&batch)) break;
+    }
+    if (st.ok() && !batch.empty()) PushBatch(&batch);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!st.ok()) {
+    worker_status_[worker_idx] = std::move(st);
+    has_error_ = true;
+  }
+  --running_workers_;
+  consumer_cv_.notify_all();
+}
+
+Result<bool> GatherExecutor::NextImpl(Tuple* out) {
+  while (true) {
+    if (batch_idx_ < batch_.size()) {
+      *out = std::move(batch_[batch_idx_++]);
+      CountRow();
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    consumer_cv_.wait(lock,
+                      [this] { return has_error_ || !queue_.empty() || running_workers_ == 0; });
+    if (has_error_) {
+      // Fail fast: cancel the remaining workers, then surface the first
+      // (lowest worker index) error, matching serial fail-on-first-error.
+      lock.unlock();
+      StopWorkers();
+      for (Status& st : worker_status_) {
+        if (!st.ok()) return st;
+      }
+      return Status::Internal("gather error flag set without a worker status");
+    }
+    if (!queue_.empty()) {
+      batch_ = std::move(queue_.front());
+      queue_.pop_front();
+      batch_idx_ = 0;
+      producer_cv_.notify_all();
+      continue;
+    }
+    // All workers finished and the queue is drained.
+    launched_ = false;
+    return false;
+  }
+}
+
+}  // namespace relopt

@@ -21,8 +21,7 @@ Schema HashJoinExecutor::MakeOutputSchema(const Executor& build, const Executor&
                             : Schema::Concat(build.schema(), probe.schema());
 }
 
-Result<std::optional<std::string>> HashJoinExecutor::KeyOf(const Tuple& t,
-                                                           const std::vector<size_t>& keys) const {
+Result<std::optional<std::string>> JoinKeyOf(const Tuple& t, const std::vector<size_t>& keys) {
   std::vector<Value> vals;
   vals.reserve(keys.size());
   for (size_t k : keys) {
@@ -84,7 +83,7 @@ Status HashJoinExecutor::InitImpl() {
   }
   std::hash<std::string> hasher;
   for (const Tuple& row : build_rows) {
-    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(row, build_keys_));
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(row, build_keys_));
     if (!key.has_value()) continue;  // NULL keys never match
     size_t p = hasher(*key) % num_partitions_;
     RELOPT_ASSIGN_OR_RETURN(Rid rid, build_parts_[p].Insert(row.Serialize()));
@@ -95,7 +94,7 @@ Status HashJoinExecutor::InitImpl() {
   while (true) {
     RELOPT_ASSIGN_OR_RETURN(bool has, probe_->Next(&t));
     if (!has) break;
-    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(t, probe_keys_));
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(t, probe_keys_));
     if (!key.has_value()) continue;
     size_t p = hasher(*key) % num_partitions_;
     RELOPT_ASSIGN_OR_RETURN(Rid rid, probe_parts_[p].Insert(t.Serialize()));
@@ -106,7 +105,7 @@ Status HashJoinExecutor::InitImpl() {
 }
 
 Status HashJoinExecutor::AddBuildRow(const Tuple& t) {
-  RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(t, build_keys_));
+  RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(t, build_keys_));
   if (key.has_value()) {
     table_.emplace(std::move(*key), t);
   }
@@ -155,7 +154,7 @@ Result<bool> HashJoinExecutor::NextInMemory(Tuple* out, Executor* probe_source) 
     if (!has) return false;
     matches_.clear();
     match_idx_ = 0;
-    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(probe_tuple_, probe_keys_));
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(probe_tuple_, probe_keys_));
     if (!key.has_value()) continue;
     auto [lo, hi] = table_.equal_range(*key);
     for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
@@ -183,7 +182,7 @@ Result<bool> HashJoinExecutor::NextGrace(Tuple* out) {
       RELOPT_ASSIGN_OR_RETURN(probe_tuple_, Tuple::Deserialize(bytes, probe_cols_));
       matches_.clear();
       match_idx_ = 0;
-      RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, KeyOf(probe_tuple_, probe_keys_));
+      RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(probe_tuple_, probe_keys_));
       if (!key.has_value()) continue;
       auto [lo, hi] = table_.equal_range(*key);
       for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);

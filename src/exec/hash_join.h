@@ -7,6 +7,12 @@
 
 namespace relopt {
 
+/// Encoded equi-join key for a row (memcmp-comparable, see EncodeKey);
+/// empty optional if any key column is NULL — NULL keys never match.
+/// Shared between the serial and parallel hash joins so both partition and
+/// probe with byte-identical keys.
+Result<std::optional<std::string>> JoinKeyOf(const Tuple& t, const std::vector<size_t>& keys);
+
 /// \brief Equi-join by hashing. The first child is the build side.
 ///
 /// If the build side exceeds the operator memory budget, both sides are
@@ -29,8 +35,6 @@ class HashJoinExecutor : public Executor {
 
   /// Builds the in-memory table from a stream of build-side tuples.
   Status AddBuildRow(const Tuple& t);
-  /// Encoded key for a row; empty optional if any key value is NULL.
-  Result<std::optional<std::string>> KeyOf(const Tuple& t, const std::vector<size_t>& keys) const;
 
   Result<bool> NextInMemory(Tuple* out, Executor* probe_source);
   Result<bool> NextGrace(Tuple* out);

@@ -1,0 +1,72 @@
+#include "exec/morsel_scan.h"
+
+#include <shared_mutex>
+
+#include "storage/slotted_page.h"
+
+namespace relopt {
+
+MorselScanExecutor::MorselScanExecutor(ExecContext* ctx, Schema schema, MorselSource* source)
+    : Executor(ctx, std::move(schema)), source_(source) {}
+
+Status MorselScanExecutor::InitImpl() {
+  buffer_.clear();
+  buffer_idx_ = 0;
+  cur_page_ = 0;
+  end_page_ = 0;
+  done_ = false;
+  ResetCounters();
+  return Status::OK();
+}
+
+Status MorselScanExecutor::FillBuffer() {
+  buffer_.clear();
+  buffer_idx_ = 0;
+  while (true) {
+    if (cur_page_ >= end_page_) {
+      if (!source_->NextMorsel(&cur_page_, &end_page_)) {
+        done_ = true;
+        return Status::OK();
+      }
+    }
+    const HeapFile* heap = source_->heap();
+    PageId pid{heap->file_id(), cur_page_++};
+    RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, heap->pool()->FetchPage(pid));
+    Status bad;
+    {
+      std::shared_lock<std::shared_mutex> latch(frame->latch());
+      SlottedPage page(frame->data());
+      uint16_t num_slots = page.NumSlots();
+      for (uint16_t s = 0; s < num_slots; ++s) {
+        if (!page.IsLive(s)) continue;
+        Result<std::string_view> rec = page.Get(s);
+        if (!rec.ok()) {
+          bad = rec.status();
+          break;
+        }
+        Result<Tuple> tuple = Tuple::Deserialize(std::string(*rec), schema_.NumColumns());
+        if (!tuple.ok()) {
+          bad = tuple.status();
+          break;
+        }
+        buffer_.push_back(tuple.MoveValue());
+      }
+    }
+    RELOPT_RETURN_NOT_OK(heap->pool()->UnpinPage(pid, false));
+    RELOPT_RETURN_NOT_OK(bad);
+    if (!buffer_.empty()) return Status::OK();
+    // Page had no live records; keep going.
+  }
+}
+
+Result<bool> MorselScanExecutor::NextImpl(Tuple* out) {
+  while (buffer_idx_ >= buffer_.size()) {
+    if (done_) return false;
+    RELOPT_RETURN_NOT_OK(FillBuffer());
+  }
+  *out = std::move(buffer_[buffer_idx_++]);
+  CountRow();
+  return true;
+}
+
+}  // namespace relopt

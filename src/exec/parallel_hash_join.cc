@@ -1,0 +1,99 @@
+#include "exec/parallel_hash_join.h"
+
+namespace relopt {
+
+ParallelHashJoinWorker::ParallelHashJoinWorker(ExecContext* ctx, ExecutorPtr build,
+                                              ExecutorPtr probe, std::vector<size_t> build_keys,
+                                              std::vector<size_t> probe_keys,
+                                              const Expression* residual, bool output_probe_first,
+                                              std::shared_ptr<SharedHashJoinState> shared,
+                                              size_t worker_idx)
+    : Executor(ctx, output_probe_first ? Schema::Concat(probe->schema(), build->schema())
+                                       : Schema::Concat(build->schema(), probe->schema())),
+      build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      residual_(residual),
+      output_probe_first_(output_probe_first),
+      shared_(std::move(shared)),
+      worker_idx_(worker_idx) {}
+
+Status ParallelHashJoinWorker::PartitionBuildSide() {
+  const size_t num_parts = shared_->num_workers();
+  std::vector<std::vector<SharedHashJoinState::KeyedRow>>& mine =
+      shared_->worker_partitions(worker_idx_);
+  RELOPT_RETURN_NOT_OK(build_->Init());
+  Tuple t;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, build_->Next(&t));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(t, build_keys_));
+    if (!key.has_value()) continue;  // NULL keys never match
+    size_t p = hasher_(*key) % num_parts;
+    mine[p].emplace_back(std::move(*key), std::move(t));
+  }
+  return Status::OK();
+}
+
+void ParallelHashJoinWorker::BuildTable() {
+  SharedHashJoinState::HashTable& table = shared_->table(worker_idx_);
+  size_t total = 0;
+  for (size_t w = 0; w < shared_->num_workers(); ++w) {
+    total += shared_->partition(w, worker_idx_).size();
+  }
+  table.reserve(total);
+  for (size_t w = 0; w < shared_->num_workers(); ++w) {
+    std::vector<SharedHashJoinState::KeyedRow>& rows = shared_->partition(w, worker_idx_);
+    for (SharedHashJoinState::KeyedRow& kr : rows) {
+      table.emplace(std::move(kr.first), std::move(kr.second));
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+  }
+}
+
+Status ParallelHashJoinWorker::InitImpl() {
+  matches_.clear();
+  match_idx_ = 0;
+  ResetCounters();
+
+  // SPMD discipline: park errors in the shared state and hit both barriers
+  // unconditionally, or a sibling deadlocks waiting for us.
+  Status st = PartitionBuildSide();
+  if (!st.ok()) shared_->RecordError(st);
+  shared_->barrier().ArriveAndWait();  // all build rows partitioned
+
+  if (!shared_->failed()) BuildTable();
+  shared_->barrier().ArriveAndWait();  // all tables built; read-only from here
+
+  if (shared_->failed()) return shared_->first_error();
+  return probe_->Init();
+}
+
+Result<bool> ParallelHashJoinWorker::NextImpl(Tuple* out) {
+  const size_t num_parts = shared_->num_workers();
+  while (true) {
+    while (match_idx_ < matches_.size()) {
+      Tuple combined = output_probe_first_ ? Tuple::Concat(probe_tuple_, *matches_[match_idx_++])
+                                           : Tuple::Concat(*matches_[match_idx_++], probe_tuple_);
+      RELOPT_ASSIGN_OR_RETURN(bool pass, PredicatePasses(residual_, combined));
+      if (pass) {
+        *out = std::move(combined);
+        CountRow();
+        return true;
+      }
+    }
+    RELOPT_ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_tuple_));
+    if (!has) return false;
+    matches_.clear();
+    match_idx_ = 0;
+    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(probe_tuple_, probe_keys_));
+    if (!key.has_value()) continue;
+    const SharedHashJoinState::HashTable& table = shared_->table(hasher_(*key) % num_parts);
+    auto [lo, hi] = table.equal_range(*key);
+    for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+  }
+}
+
+}  // namespace relopt

@@ -20,8 +20,10 @@ OperatorProfile BuildNode(const PhysicalNode& node, const ExecContext& ctx) {
   p.describe = node.Describe();
   p.est_rows = node.est_rows();
   p.est_cost = node.est_cost();
-  if (const Executor* exec = ctx.FindExecutor(&node)) {
-    p.stats = exec->stats();
+  // Under parallelism one plan node maps to several worker executors; merge
+  // their stats so actual_rows/IO are totals across workers.
+  if (const std::vector<const Executor*>* execs = ctx.FindExecutors(&node)) {
+    for (const Executor* exec : *execs) p.stats.Merge(exec->stats());
   }
   for (const PhysicalPtr& child : node.children()) {
     p.children.push_back(BuildNode(*child, ctx));

@@ -17,7 +17,7 @@ BufferPool::~BufferPool() {
   }
 }
 
-void BufferPool::TouchLru(PageId page_id) {
+void BufferPool::TouchLruLocked(PageId page_id) {
   auto it = lru_pos_.find(page_id);
   if (it != lru_pos_.end()) {
     lru_.erase(it->second);
@@ -26,13 +26,13 @@ void BufferPool::TouchLru(PageId page_id) {
   lru_pos_[page_id] = lru_.begin();
 }
 
-Status BufferPool::EvictFrame(PageId page_id) {
+Status BufferPool::EvictFrameLocked(PageId page_id) {
   auto it = frames_.find(page_id);
   RELOPT_DCHECK(it != frames_.end());
   PageFrame* frame = it->second.get();
   if (frame->dirty_) {
     RELOPT_RETURN_NOT_OK(disk_->WritePage(page_id, frame->data()));
-    stats_.dirty_writebacks++;
+    dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
   }
   auto pos = lru_pos_.find(page_id);
   if (pos != lru_pos_.end()) {
@@ -40,17 +40,17 @@ Status BufferPool::EvictFrame(PageId page_id) {
     lru_pos_.erase(pos);
   }
   frames_.erase(it);
-  stats_.evictions++;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status BufferPool::EnsureCapacity() {
+Status BufferPool::EnsureCapacityLocked() {
   if (frames_.size() < capacity_) return Status::OK();
   // Find the LRU unpinned frame (back of list = least recent).
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     auto fit = frames_.find(*it);
     if (fit != frames_.end() && fit->second->pin_count_ == 0) {
-      return EvictFrame(*it);
+      return EvictFrameLocked(*it);
     }
   }
   return Status::ResourceExhausted("buffer pool full: all " + std::to_string(capacity_) +
@@ -58,15 +58,18 @@ Status BufferPool::EnsureCapacity() {
 }
 
 Result<PageFrame*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
-    stats_.hits++;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    LocalIoCounters().pool_hits++;
     it->second->pin_count_++;
-    TouchLru(page_id);
+    TouchLruLocked(page_id);
     return it->second.get();
   }
-  stats_.misses++;
-  RELOPT_RETURN_NOT_OK(EnsureCapacity());
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  LocalIoCounters().pool_misses++;
+  RELOPT_RETURN_NOT_OK(EnsureCapacityLocked());
   auto frame = std::make_unique<PageFrame>();
   frame->page_id_ = page_id;
   frame->data_ = std::make_unique<char[]>(kPageSize);
@@ -74,14 +77,15 @@ Result<PageFrame*> BufferPool::FetchPage(PageId page_id) {
   frame->pin_count_ = 1;
   PageFrame* raw = frame.get();
   frames_[page_id] = std::move(frame);
-  TouchLru(page_id);
+  TouchLruLocked(page_id);
   return raw;
 }
 
 Result<PageFrame*> BufferPool::NewPage(FileId file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   RELOPT_ASSIGN_OR_RETURN(PageNo page_no, disk_->AllocatePage(file_id));
   PageId page_id{file_id, page_no};
-  RELOPT_RETURN_NOT_OK(EnsureCapacity());
+  RELOPT_RETURN_NOT_OK(EnsureCapacityLocked());
   auto frame = std::make_unique<PageFrame>();
   frame->page_id_ = page_id;
   frame->data_ = std::make_unique<char[]>(kPageSize);
@@ -90,11 +94,12 @@ Result<PageFrame*> BufferPool::NewPage(FileId file_id) {
   frame->dirty_ = true;  // a new page must reach disk even if untouched
   PageFrame* raw = frame.get();
   frames_[page_id] = std::move(frame);
-  TouchLru(page_id);
+  TouchLruLocked(page_id);
   return raw;
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(page_id);
   if (it == frames_.end()) {
     return Status::NotFound("unpin of uncached page " + page_id.ToString());
@@ -109,6 +114,7 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(page_id);
   if (it == frames_.end()) return Status::OK();
   PageFrame* frame = it->second.get();
@@ -120,6 +126,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, frame] : frames_) {
     if (frame->dirty_) {
       RELOPT_RETURN_NOT_OK(disk_->WritePage(id, frame->data()));
@@ -130,6 +137,7 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::DropFilePages(FileId file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageId> to_drop;
   for (auto& [id, frame] : frames_) {
     if (id.file_id != file_id) continue;
@@ -151,14 +159,36 @@ Status BufferPool::DropFilePages(FileId file_id) {
 }
 
 Status BufferPool::EvictAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<PageId> unpinned;
   for (auto& [id, frame] : frames_) {
     if (frame->pin_count_ == 0) unpinned.push_back(id);
   }
   for (PageId id : unpinned) {
-    RELOPT_RETURN_NOT_OK(EvictFrame(id));
+    RELOPT_RETURN_NOT_OK(EvictFrameLocked(id));
   }
   return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.dirty_writebacks = dirty_writebacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  dirty_writebacks_.store(0, std::memory_order_relaxed);
+}
+
+size_t BufferPool::NumCached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
 }
 
 }  // namespace relopt

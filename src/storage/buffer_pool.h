@@ -1,13 +1,17 @@
 // BufferPool: fixed-size page cache with LRU replacement and hit/miss stats.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/disk_manager.h"
+#include "storage/io_counters.h"
 #include "storage/page.h"
 #include "util/result.h"
 
@@ -23,11 +27,20 @@ struct BufferPoolStats {
 
 /// \brief A frame handed out by the buffer pool. Pin with Fetch/New, unpin
 /// when done; the pool evicts only unpinned frames (LRU).
+///
+/// Concurrency: a pin guarantees the frame stays resident, but not that its
+/// bytes are stable — concurrent pinners of the same page must take the
+/// frame `latch()` (shared to read page bytes, exclusive to mutate them).
+/// Latch ordering rule: acquire a frame latch only *after* the pool call
+/// returns (never while inside the pool), and release it before Unpin.
 class PageFrame {
  public:
   PageId page_id() const { return page_id_; }
   char* data() { return data_.get(); }
   const char* data() const { return data_.get(); }
+
+  /// Per-frame content latch (see class comment for the ordering rule).
+  std::shared_mutex& latch() const { return latch_; }
 
  private:
   friend class BufferPool;
@@ -35,13 +48,21 @@ class PageFrame {
   std::unique_ptr<char[]> data_;
   int pin_count_ = 0;
   bool dirty_ = false;
+  mutable std::shared_mutex latch_;
 };
 
 /// \brief Page cache in front of the DiskManager.
 ///
 /// The pool is the engine's memory budget: join and sort operators size their
 /// in-memory working sets from `capacity()`, so varying the pool capacity
-/// reproduces the buffer-size experiments. Single-threaded.
+/// reproduces the buffer-size experiments.
+///
+/// Thread-safe: one pool mutex guards the frame map, LRU state, and pin
+/// counts (disk I/O for faults and write-backs happens under it, serializing
+/// page movement); hit/miss/eviction counters are atomic so `stats()` is a
+/// lock-free snapshot. Pinned frames are never evicted, so readers holding a
+/// pin may access frame bytes outside the mutex (with the frame latch when a
+/// concurrent writer is possible).
 class BufferPool {
  public:
   /// `capacity` is in pages.
@@ -77,26 +98,34 @@ class BufferPool {
   Status DropFilePages(FileId file_id);
 
   size_t capacity() const { return capacity_; }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats{}; }
+  /// Snapshot of the cache counters (atomic reads; safe while threads run).
+  BufferPoolStats stats() const;
+  void ResetStats();
   DiskManager* disk() const { return disk_; }
 
   /// Number of frames currently cached (for tests).
-  size_t NumCached() const { return frames_.size(); }
+  size_t NumCached() const;
 
  private:
   /// Makes room for one more frame; evicts the LRU unpinned frame if full.
-  Status EnsureCapacity();
-  Status EvictFrame(PageId page_id);
-  void TouchLru(PageId page_id);
+  /// Requires `mu_` held.
+  Status EnsureCapacityLocked();
+  /// Requires `mu_` held.
+  Status EvictFrameLocked(PageId page_id);
+  /// Requires `mu_` held.
+  void TouchLruLocked(PageId page_id);
 
   DiskManager* disk_;
   size_t capacity_;
+  mutable std::mutex mu_;  ///< guards frames_, lru_, pin counts, dirty bits
   std::unordered_map<PageId, std::unique_ptr<PageFrame>, PageIdHash> frames_;
   // LRU list of unpinned-or-pinned pages; front = most recent.
   std::list<PageId> lru_;
   std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_pos_;
-  BufferPoolStats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> dirty_writebacks_{0};
 };
 
 /// RAII pin guard: unpins on destruction.

@@ -5,16 +5,23 @@
 namespace relopt {
 
 FileId DiskManager::CreateFile() {
+  std::lock_guard<std::mutex> lock(mu_);
   FileId id = next_file_id_++;
   files_.emplace(id, File{});
   return id;
 }
 
-void DiskManager::DeleteFile(FileId file_id) { files_.erase(file_id); }
+void DiskManager::DeleteFile(FileId file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(file_id);
+}
 
-bool DiskManager::FileExists(FileId file_id) const { return files_.count(file_id) > 0; }
+bool DiskManager::FileExists(FileId file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(file_id) > 0;
+}
 
-Result<DiskManager::File*> DiskManager::GetFile(FileId file_id) {
+Result<DiskManager::File*> DiskManager::GetFileLocked(FileId file_id) {
   auto it = files_.find(file_id);
   if (it == files_.end()) {
     return Status::NotFound("file " + std::to_string(file_id) + " does not exist");
@@ -23,49 +30,67 @@ Result<DiskManager::File*> DiskManager::GetFile(FileId file_id) {
 }
 
 Result<PageNo> DiskManager::AllocatePage(FileId file_id) {
-  RELOPT_ASSIGN_OR_RETURN(File * file, GetFile(file_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  RELOPT_ASSIGN_OR_RETURN(File * file, GetFileLocked(file_id));
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
   file->pages.push_back(std::move(page));
   file->stats.pages_allocated++;
-  stats_.pages_allocated++;
+  pages_allocated_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageNo>(file->pages.size() - 1);
 }
 
 Status DiskManager::ReadPage(PageId page_id, char* out) {
-  RELOPT_ASSIGN_OR_RETURN(File * file, GetFile(page_id.file_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  RELOPT_ASSIGN_OR_RETURN(File * file, GetFileLocked(page_id.file_id));
   if (page_id.page_no >= file->pages.size()) {
     return Status::OutOfRange("read past end of file " + page_id.ToString());
   }
   std::memcpy(out, file->pages[page_id.page_no].get(), kPageSize);
   file->stats.page_reads++;
-  stats_.page_reads++;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
+  LocalIoCounters().page_reads++;
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId page_id, const char* data) {
-  RELOPT_ASSIGN_OR_RETURN(File * file, GetFile(page_id.file_id));
+  std::lock_guard<std::mutex> lock(mu_);
+  RELOPT_ASSIGN_OR_RETURN(File * file, GetFileLocked(page_id.file_id));
   if (page_id.page_no >= file->pages.size()) {
     return Status::OutOfRange("write past end of file " + page_id.ToString());
   }
   std::memcpy(file->pages[page_id.page_no].get(), data, kPageSize);
   file->stats.page_writes++;
-  stats_.page_writes++;
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
+  LocalIoCounters().page_writes++;
   return Status::OK();
 }
 
 size_t DiskManager::NumPages(FileId file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(file_id);
   return it == files_.end() ? 0 : it->second.pages.size();
 }
 
+IoStats DiskManager::stats() const {
+  IoStats s;
+  s.page_reads = page_reads_.load(std::memory_order_relaxed);
+  s.page_writes = page_writes_.load(std::memory_order_relaxed);
+  s.pages_allocated = pages_allocated_.load(std::memory_order_relaxed);
+  return s;
+}
+
 IoStats DiskManager::FileStats(FileId file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(file_id);
   return it == files_.end() ? IoStats{} : it->second.stats;
 }
 
 void DiskManager::ResetStats() {
-  stats_ = IoStats{};
+  std::lock_guard<std::mutex> lock(mu_);
+  page_reads_.store(0, std::memory_order_relaxed);
+  page_writes_.store(0, std::memory_order_relaxed);
+  pages_allocated_.store(0, std::memory_order_relaxed);
   for (auto& [id, file] : files_) file.stats = IoStats{};
 }
 

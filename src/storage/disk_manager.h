@@ -6,11 +6,14 @@
 // laptop scale.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "storage/io_counters.h"
 #include "storage/page.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -27,7 +30,8 @@ struct IoStats {
 };
 
 /// \brief Manages a set of paged "files" held in memory, counting every page
-/// read/write. Single-threaded, like the rest of the engine.
+/// read/write. Thread-safe: file-map structure is mutex-guarded and the
+/// global counters are atomic (plus thread-local tallies for attribution).
 class DiskManager {
  public:
   DiskManager() = default;
@@ -55,8 +59,8 @@ class DiskManager {
   /// Number of pages currently in the file (0 if absent).
   size_t NumPages(FileId file_id) const;
 
-  /// Global counters since construction or last ResetStats().
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the global counters since construction or last ResetStats().
+  IoStats stats() const;
   /// Per-file counters (zeroes if absent).
   IoStats FileStats(FileId file_id) const;
   void ResetStats();
@@ -67,11 +71,15 @@ class DiskManager {
     IoStats stats;
   };
 
-  Result<File*> GetFile(FileId file_id);
+  /// Requires `mu_` held.
+  Result<File*> GetFileLocked(FileId file_id);
 
+  mutable std::mutex mu_;  ///< guards files_, next_file_id_, per-file stats
   std::unordered_map<FileId, File> files_;
   FileId next_file_id_ = 1;
-  IoStats stats_;
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+  std::atomic<uint64_t> pages_allocated_{0};
 };
 
 }  // namespace relopt

@@ -1,12 +1,17 @@
 #include "storage/heap_file.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "storage/slotted_page.h"
 
 namespace relopt {
 
 HeapFile::HeapFile(BufferPool* pool, FileId file_id) : pool_(pool), file_id_(file_id) {
   size_t pages = pool_->disk()->NumPages(file_id_);
-  if (pages > 0) insert_hint_ = static_cast<PageNo>(pages - 1);
+  if (pages > 0) {
+    insert_hint_.store(static_cast<PageNo>(pages - 1), std::memory_order_relaxed);
+  }
 }
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool) {
@@ -18,14 +23,21 @@ size_t HeapFile::NumPages() const { return pool_->disk()->NumPages(file_id_); }
 
 Result<Rid> HeapFile::Insert(std::string_view record) {
   // Try the hint page first.
-  if (insert_hint_ != kInvalidPageNo) {
-    PageId pid{file_id_, insert_hint_};
+  PageNo hint = insert_hint_.load(std::memory_order_relaxed);
+  if (hint != kInvalidPageNo) {
+    PageId pid{file_id_, hint};
     RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->FetchPage(pid));
-    SlottedPage page(frame->data());
-    if (page.HasRoomFor(record.size())) {
-      Result<uint16_t> slot = page.Insert(record);
+    Result<uint16_t> slot{uint16_t{0}};
+    bool fit;
+    {
+      std::unique_lock<std::shared_mutex> latch(frame->latch());
+      SlottedPage page(frame->data());
+      fit = page.HasRoomFor(record.size());
+      if (fit) slot = page.Insert(record);
+    }
+    if (fit) {
       RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, slot.ok()));
-      if (slot.ok()) return Rid{insert_hint_, *slot};
+      if (slot.ok()) return Rid{hint, *slot};
       return slot.status();
     }
     RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, false));
@@ -33,22 +45,30 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
   // Allocate a fresh page.
   RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->NewPage(file_id_));
   PageId pid = frame->page_id();
-  SlottedPage page(frame->data());
-  page.Init();
-  Result<uint16_t> slot = page.Insert(record);
+  Result<uint16_t> slot{uint16_t{0}};
+  {
+    std::unique_lock<std::shared_mutex> latch(frame->latch());
+    SlottedPage page(frame->data());
+    page.Init();
+    slot = page.Insert(record);
+  }
   RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, true));
   RELOPT_RETURN_NOT_OK(slot.status());
-  insert_hint_ = pid.page_no;
+  insert_hint_.store(pid.page_no, std::memory_order_relaxed);
   return Rid{pid.page_no, *slot};
 }
 
 Result<std::string> HeapFile::Get(Rid rid) const {
   PageId pid{file_id_, rid.page_no};
   RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->FetchPage(pid));
-  SlottedPage page(frame->data());
-  Result<std::string_view> rec = page.Get(rid.slot);
+  Result<std::string_view> rec{std::string_view{}};
   std::string out;
-  if (rec.ok()) out = std::string(*rec);
+  {
+    std::shared_lock<std::shared_mutex> latch(frame->latch());
+    SlottedPage page(frame->data());
+    rec = page.Get(rid.slot);
+    if (rec.ok()) out = std::string(*rec);
+  }
   RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, false));
   RELOPT_RETURN_NOT_OK(rec.status());
   return out;
@@ -57,8 +77,12 @@ Result<std::string> HeapFile::Get(Rid rid) const {
 Status HeapFile::Delete(Rid rid) {
   PageId pid{file_id_, rid.page_no};
   RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, pool_->FetchPage(pid));
-  SlottedPage page(frame->data());
-  Status st = page.Delete(rid.slot);
+  Status st;
+  {
+    std::unique_lock<std::shared_mutex> latch(frame->latch());
+    SlottedPage page(frame->data());
+    st = page.Delete(rid.slot);
+  }
   RELOPT_RETURN_NOT_OK(pool_->UnpinPage(pid, st.ok()));
   return st;
 }
@@ -75,22 +99,29 @@ Result<bool> HeapFile::Iterator::Next(Rid* rid, std::string* record) {
   while (page_no_ < num_pages) {
     PageId pid{heap_->file_id_, page_no_};
     RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, heap_->pool_->FetchPage(pid));
-    SlottedPage page(frame->data());
-    uint16_t num_slots = page.NumSlots();
-    while (slot_ < num_slots) {
-      uint16_t s = slot_++;
-      if (!page.IsLive(s)) continue;
-      Result<std::string_view> rec = page.Get(s);
-      if (!rec.ok()) {
-        RELOPT_RETURN_NOT_OK(heap_->pool_->UnpinPage(pid, false));
-        return rec.status();
+    Status bad;
+    bool found = false;
+    {
+      std::shared_lock<std::shared_mutex> latch(frame->latch());
+      SlottedPage page(frame->data());
+      uint16_t num_slots = page.NumSlots();
+      while (slot_ < num_slots) {
+        uint16_t s = slot_++;
+        if (!page.IsLive(s)) continue;
+        Result<std::string_view> rec = page.Get(s);
+        if (!rec.ok()) {
+          bad = rec.status();
+          break;
+        }
+        *record = std::string(*rec);
+        *rid = Rid{page_no_, s};
+        found = true;
+        break;
       }
-      *record = std::string(*rec);
-      *rid = Rid{page_no_, s};
-      RELOPT_RETURN_NOT_OK(heap_->pool_->UnpinPage(pid, false));
-      return true;
     }
     RELOPT_RETURN_NOT_OK(heap_->pool_->UnpinPage(pid, false));
+    RELOPT_RETURN_NOT_OK(bad);
+    if (found) return true;
     page_no_++;
     slot_ = 0;
   }

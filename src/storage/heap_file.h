@@ -1,6 +1,7 @@
 // HeapFile: unordered collection of records in slotted pages.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <string_view>
 
@@ -23,6 +24,21 @@ class HeapFile {
 
   /// Creates a new file in `disk` and a heap over it.
   static Result<HeapFile> Create(BufferPool* pool);
+
+  // A HeapFile is a lightweight handle (pool + file id + hint); copies are
+  // views of the same file. Spelled out because the hint is atomic. Copying
+  // a heap that other threads are actively using is not supported.
+  HeapFile(const HeapFile& other)
+      : pool_(other.pool_),
+        file_id_(other.file_id_),
+        insert_hint_(other.insert_hint_.load(std::memory_order_relaxed)) {}
+  HeapFile& operator=(const HeapFile& other) {
+    pool_ = other.pool_;
+    file_id_ = other.file_id_;
+    insert_hint_.store(other.insert_hint_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   FileId file_id() const { return file_id_; }
   BufferPool* pool() const { return pool_; }
@@ -67,7 +83,9 @@ class HeapFile {
   BufferPool* pool_;
   FileId file_id_;
   // Hint: page most likely to have room (last page we inserted into).
-  PageNo insert_hint_ = kInvalidPageNo;
+  // Atomic so concurrent inserters race benignly (a stale hint only costs an
+  // extra fit check, never correctness).
+  std::atomic<PageNo> insert_hint_{kInvalidPageNo};
 };
 
 }  // namespace relopt

@@ -1,0 +1,28 @@
+// Per-thread I/O counters backing per-operator attribution under parallelism.
+//
+// The DiskManager and BufferPool bump a process-wide atomic total *and* the
+// calling thread's local counters. Attribution (ExecContext) diffs only the
+// thread-local counters, so each worker thread charges exactly the I/O it
+// performed to the operator whose Init/Next frame is active on that thread —
+// deltas stay exact no matter how many threads run concurrently.
+#pragma once
+
+#include <cstdint>
+
+namespace relopt {
+
+/// Monotonic per-thread I/O tallies (never reset; consumers diff snapshots).
+struct ThreadIoCounters {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+};
+
+/// The calling thread's counters.
+inline ThreadIoCounters& LocalIoCounters() {
+  thread_local ThreadIoCounters counters;
+  return counters;
+}
+
+}  // namespace relopt

@@ -1,0 +1,63 @@
+// ThreadPool: fixed-size worker pool for intra-query parallelism, plus a
+// reusable Barrier for phase synchronization (e.g. hash-join build/probe).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relopt {
+
+/// \brief A fixed set of worker threads draining a FIFO task queue.
+///
+/// Tasks must not block waiting for *other tasks that have not started yet*:
+/// the pool runs at most `num_threads` tasks concurrently, so a morsel-driven
+/// pipeline submits exactly `num_threads` worker loops and coordinates them
+/// with Barrier (every worker is running before any barrier is reached).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();  ///< Drains the queue, then joins all workers.
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task` for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// \brief Reusable barrier: ArriveAndWait blocks until `parties` threads have
+/// arrived, then releases all of them and resets for the next round.
+class Barrier {
+ public:
+  explicit Barrier(size_t parties) : parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void ArriveAndWait();
+
+ private:
+  const size_t parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace relopt

@@ -1,0 +1,99 @@
+// ThreadPool + Barrier unit tests.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace relopt {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // N tasks that all wait for each other can only finish if the pool really
+  // runs N tasks at once.
+  constexpr size_t kN = 4;
+  ThreadPool pool(kN);
+  Barrier barrier(kN);
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (size_t i = 0; i < kN; ++i) {
+    pool.Submit([&] {
+      barrier.ArriveAndWait();
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == static_cast<int>(kN); });
+  EXPECT_EQ(done, static_cast<int>(kN));
+}
+
+TEST(ThreadPoolTest, BarrierIsReusableAcrossRounds) {
+  constexpr size_t kN = 3;
+  constexpr int kRounds = 50;
+  ThreadPool pool(kN);
+  Barrier barrier(kN);
+  // Each round, every worker increments; the barrier makes rounds lock-step,
+  // so no worker can be more than one round ahead of another.
+  std::atomic<int> counter{0};
+  std::atomic<bool> torn{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<int> finished{0};
+  for (size_t i = 0; i < kN; ++i) {
+    pool.Submit([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        counter.fetch_add(1);
+        barrier.ArriveAndWait();
+        // Between barriers the counter must be exactly (r+1)*kN for everyone.
+        if (counter.load() != (r + 1) * static_cast<int>(kN)) torn = true;
+        barrier.ArriveAndWait();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      ++finished;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return finished == static_cast<int>(kN); });
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(counter.load(), kRounds * static_cast<int>(kN));
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThreadDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.Submit([&] {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    });
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == 1; });
+  EXPECT_EQ(done, 1);
+}
+
+}  // namespace
+}  // namespace relopt
