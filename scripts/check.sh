@@ -18,10 +18,21 @@ cmake -B build-asan -S . -DASAN=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
+echo "== bench_vectorized smoke (asan) =="
+# Tiny row count: exercises the batch pipeline (scan/filter/project/join/
+# limit, plus the vectorized+parallel composition) under ASAN, and the
+# RELOPT_BENCH_JSON_DIR dump paths, without benchmark-scale runtime.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_vectorized 2000
+
 echo "== tsan build (concurrency tests) =="
 cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BufferPoolStress|ParallelDifferential'
+  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized'
+
+echo "== bench_vectorized smoke (tsan) =="
+# The par2 block drives whole batches through Gather worker threads; TSan
+# checks the batch hand-off and the PageCursor shared-latch discipline.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_vectorized 2000
 
 echo "All checks passed."

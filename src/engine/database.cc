@@ -108,16 +108,30 @@ Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
   IoStats io_before = disk_->stats();
   BufferPoolStats pool_before = pool_->stats();
 
-  ExecContext ctx(catalog_.get(), pool_.get(), thread_pool_.get(), parallelism_);
+  ExecContext ctx(catalog_.get(), pool_.get(), thread_pool_.get(), parallelism_,
+                  options_.vectorized ? options_.batch_size : 0);
   RELOPT_ASSIGN_OR_RETURN(ExecutorPtr root, BuildExecutor(&ctx, &plan));
   RELOPT_RETURN_NOT_OK(root->Init());
   QueryResult result;
   result.schema = plan.schema();
-  Tuple t;
-  while (true) {
-    RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
-    if (!has) break;
-    result.rows.push_back(std::move(t));
+  if (ctx.batch_size() > 0) {
+    // Vectorized drive: pull batches through the root; a false return can
+    // still carry the stream's final rows.
+    TupleBatch batch(ctx.batch_size());
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
+      for (uint32_t i : batch.selection()) {
+        result.rows.push_back(std::move(*batch.MutableRowAt(i)));
+      }
+      if (!has) break;
+    }
+  } else {
+    Tuple t;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
+      if (!has) break;
+      result.rows.push_back(std::move(t));
+    }
   }
   // Stop any still-running parallel workers (a LIMIT can abandon a Gather
   // mid-stream) before snapshotting counters and per-operator stats.

@@ -24,6 +24,12 @@ struct SessionOptions {
   size_t buffer_pool_pages = 256;
   OptimizerOptions optimizer;
   size_t analyze_buckets = 32;
+  /// Vectorized (batch-at-a-time) execution. When on, queries are driven
+  /// through Executor::NextBatch with `batch_size`-row TupleBatches;
+  /// operators without a native batch implementation fall back to an
+  /// internal row loop, so the two modes always agree on results.
+  bool vectorized = true;
+  size_t batch_size = TupleBatch::kDefaultCapacity;
 };
 
 /// A fully materialized query result.
@@ -106,6 +112,13 @@ class Database {
   /// concurrent Execute calls; the Database itself is a single-session object.
   void set_parallelism(size_t n);
   size_t parallelism() const { return parallelism_; }
+
+  /// Toggles vectorized execution (see SessionOptions::vectorized).
+  void set_vectorized(bool on) { options_.vectorized = on; }
+  bool vectorized() const { return options_.vectorized; }
+  /// Rows per batch under vectorized execution (>= 1).
+  void set_batch_size(size_t n) { options_.batch_size = n == 0 ? 1 : n; }
+  size_t batch_size() const { return options_.batch_size; }
 
   /// Zeroes disk + pool counters (benchmarks call between phases).
   void ResetCounters();

@@ -28,6 +28,7 @@ void OperatorStats::Merge(const OperatorStats& other) {
   init_calls += other.init_calls;
   next_calls += other.next_calls;
   rows_produced += other.rows_produced;
+  batches_produced += other.batches_produced;
   wall_nanos += other.wall_nanos;
   if (other.started) {
     first_start_nanos =
@@ -41,11 +42,12 @@ void OperatorStats::Merge(const OperatorStats& other) {
 }
 
 ExecContext::ExecContext(Catalog* catalog, BufferPool* pool, ThreadPool* thread_pool,
-                         size_t parallelism)
+                         size_t parallelism, size_t batch_size)
     : catalog_(catalog),
       pool_(pool),
       thread_pool_(thread_pool),
       parallelism_(thread_pool == nullptr ? 1 : std::max<size_t>(1, parallelism)),
+      batch_size_(batch_size),
       epoch_nanos_(MonotonicNanos()) {}
 
 ExecContext::~ExecContext() {
@@ -89,6 +91,21 @@ void ExecContext::ReleaseScratchHeap(FileId file_id) {
   }
   (void)pool_->DropFilePages(file_id);
   pool_->disk()->DeleteFile(file_id);
+}
+
+Result<bool> Executor::NextBatchImpl(TupleBatch* out) {
+  // Row-loop adapter: fill reusable slots straight from this operator's own
+  // NextImpl. Bypasses the instrumented Next() wrapper — the enclosing
+  // NextBatch frame already owns timing, attribution, and row accounting.
+  while (!out->Full()) {
+    Tuple* slot = out->AppendRow();
+    RELOPT_ASSIGN_OR_RETURN(bool has, NextImpl(slot));
+    if (!has) {
+      out->DropLastRow();
+      return false;
+    }
+  }
+  return true;
 }
 
 size_t ExecContext::operator_memory_pages() const {

@@ -13,6 +13,7 @@
 #include "storage/buffer_pool.h"
 #include "types/schema.h"
 #include "types/tuple.h"
+#include "types/tuple_batch.h"
 #include "util/result.h"
 #include "util/timer.h"
 
@@ -37,8 +38,9 @@ class ThreadPool;
 /// the clones' stats after the workers have been joined.
 struct OperatorStats {
   uint64_t init_calls = 0;   ///< stream (re)starts; >1 under nested loops
-  uint64_t next_calls = 0;
+  uint64_t next_calls = 0;   ///< Next() + NextBatch() calls
   uint64_t rows_produced = 0;  ///< total across all restarts
+  uint64_t batches_produced = 0;  ///< NextBatch() calls (0 in row mode)
   uint64_t wall_nanos = 0;     ///< inclusive wall time in Init+Next
   uint64_t first_start_nanos = 0;  ///< first Init, relative to the query epoch
   bool started = false;
@@ -64,9 +66,11 @@ class ExecContext {
  public:
   /// `thread_pool` (with `parallelism` > 1) enables parallel executor
   /// construction; the pool must have at least `parallelism` threads and must
-  /// outlive the context.
+  /// outlive the context. `batch_size` > 0 enables vectorized execution: the
+  /// plan driver (and parallel workers) pull TupleBatches of that capacity
+  /// through NextBatch(); 0 selects classic row-at-a-time Next().
   ExecContext(Catalog* catalog, BufferPool* pool, ThreadPool* thread_pool = nullptr,
-              size_t parallelism = 1);
+              size_t parallelism = 1, size_t batch_size = TupleBatch::kDefaultCapacity);
   ~ExecContext();
 
   ExecContext(const ExecContext&) = delete;
@@ -77,6 +81,9 @@ class ExecContext {
   ThreadPool* thread_pool() const { return thread_pool_; }
   /// Worker count for parallel fragments (1 = serial execution).
   size_t parallelism() const { return parallelism_; }
+  /// Rows per TupleBatch when the query is driven through NextBatch();
+  /// 0 = row-at-a-time execution.
+  size_t batch_size() const { return batch_size_; }
 
   /// Creates a scratch heap file (freed when the context dies). Thread-safe.
   Result<HeapFile> CreateScratchHeap();
@@ -140,6 +147,7 @@ class ExecContext {
   BufferPool* pool_;
   ThreadPool* thread_pool_;
   size_t parallelism_;
+  size_t batch_size_;
   std::mutex scratch_mu_;  ///< guards scratch_files_
   std::vector<FileId> scratch_files_;
   std::unordered_map<const PhysicalNode*, std::vector<const Executor*>> executors_;
@@ -196,6 +204,26 @@ class Executor {
     return has;
   }
 
+  /// Produces the next batch of tuples (vectorized path). Clears `out`, then
+  /// fills it with up to out->capacity() rows. Returns false iff the stream
+  /// is exhausted — any rows already in `out` are still valid and must be
+  /// consumed. Returning true with zero selected rows is legal (e.g. a filter
+  /// that rejected a whole input batch); callers just pull again.
+  ///
+  /// Operators without a native NextBatchImpl fall back to a row-loop adapter
+  /// over their own NextImpl, so every operator works under either drive mode.
+  /// A given executor instance is driven by exactly one mode per stream.
+  Result<bool> NextBatch(TupleBatch* out) {
+    ScopedTimer timer(&stats_.wall_nanos);
+    ++stats_.next_calls;
+    ++stats_.batches_produced;
+    IoAttributionScope io(ctx_, &stats_);
+    out->Clear();
+    RELOPT_ASSIGN_OR_RETURN(bool has, NextBatchImpl(out));
+    stats_.rows_produced += out->NumSelected();
+    return has;
+  }
+
   const Schema& schema() const { return schema_; }
   uint64_t rows_produced() const { return rows_produced_; }
   const OperatorStats& stats() const { return stats_; }
@@ -203,11 +231,20 @@ class Executor {
  protected:
   virtual Status InitImpl() = 0;
   virtual Result<bool> NextImpl(Tuple* out) = 0;
+  /// Default adapter: loops NextImpl into reusable batch slots. Native batch
+  /// operators override this and must call CountRows() themselves (the
+  /// adapter's NextImpl calls already CountRow per row, so it must not).
+  virtual Result<bool> NextBatchImpl(TupleBatch* out);
 
   /// Bump shared + per-node counters when emitting a row.
   void CountRow() {
     ++rows_produced_;
     ctx_->tuples_processed.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Batch-mode counterpart of CountRow: charges `n` emitted rows at once.
+  void CountRows(uint64_t n) {
+    rows_produced_ += n;
+    if (n > 0) ctx_->tuples_processed.fetch_add(n, std::memory_order_relaxed);
   }
   /// Reset per-node counters on Init (restarts recount).
   void ResetCounters() { rows_produced_ = 0; }

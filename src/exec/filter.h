@@ -2,13 +2,17 @@
 #pragma once
 
 #include "exec/executor.h"
+#include "expr/vector_eval.h"
 
 namespace relopt {
 
 class FilterExecutor : public Executor {
  public:
   FilterExecutor(ExecContext* ctx, ExecutorPtr child, const Expression* predicate)
-      : Executor(ctx, child->schema()), child_(std::move(child)), predicate_(predicate) {}
+      : Executor(ctx, child->schema()),
+        child_(std::move(child)),
+        predicate_(predicate),
+        conjuncts_(CollectConjuncts(predicate)) {}
 
   Status InitImpl() override {
     ResetCounters();
@@ -27,9 +31,20 @@ class FilterExecutor : public Executor {
     }
   }
 
+  /// Batch path: pull one child batch into `out` and compact its selection
+  /// conjunct by conjunct. May legitimately return true with zero survivors;
+  /// the caller pulls again.
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+    RELOPT_RETURN_NOT_OK(FilterBatch(conjuncts_, out));
+    CountRows(out->NumSelected());
+    return has;
+  }
+
  private:
   ExecutorPtr child_;
   const Expression* predicate_;
+  std::vector<const Expression*> conjuncts_;  ///< top-level AND split of predicate_
 };
 
 }  // namespace relopt

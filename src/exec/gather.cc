@@ -70,7 +70,26 @@ bool GatherExecutor::PushBatch(std::vector<Tuple>* batch) {
 void GatherExecutor::WorkerMain(size_t worker_idx) {
   Executor* exec = workers_[worker_idx].get();
   Status st = exec->Init();
-  if (st.ok()) {
+  if (st.ok() && ctx_->batch_size() > 0) {
+    // Vectorized drive: pull batches through the fragment (so a native-batch
+    // scan/filter/project subtree keeps its fast path) and ship each batch's
+    // selected rows as one queue vector.
+    TupleBatch batch(ctx_->batch_size());
+    std::vector<Tuple> rows;
+    while (true) {
+      Result<bool> has = exec->NextBatch(&batch);
+      if (!has.ok()) {
+        st = has.status();
+        break;
+      }
+      if (batch.NumSelected() > 0) {
+        rows.reserve(batch.NumSelected());
+        for (uint32_t i : batch.selection()) rows.push_back(std::move(*batch.MutableRowAt(i)));
+        if (!PushBatch(&rows)) break;
+      }
+      if (!*has) break;
+    }
+  } else if (st.ok()) {
     std::vector<Tuple> batch;
     batch.reserve(kBatchRows);
     Tuple t;
@@ -95,13 +114,8 @@ void GatherExecutor::WorkerMain(size_t worker_idx) {
   consumer_cv_.notify_all();
 }
 
-Result<bool> GatherExecutor::NextImpl(Tuple* out) {
+Result<bool> GatherExecutor::PopBatch() {
   while (true) {
-    if (batch_idx_ < batch_.size()) {
-      *out = std::move(batch_[batch_idx_++]);
-      CountRow();
-      return true;
-    }
     std::unique_lock<std::mutex> lock(mu_);
     consumer_cv_.wait(lock,
                       [this] { return has_error_ || !queue_.empty() || running_workers_ == 0; });
@@ -120,12 +134,36 @@ Result<bool> GatherExecutor::NextImpl(Tuple* out) {
       queue_.pop_front();
       batch_idx_ = 0;
       producer_cv_.notify_all();
-      continue;
+      if (batch_.empty()) continue;  // workers never push empty, but be safe
+      return true;
     }
     // All workers finished and the queue is drained.
     launched_ = false;
     return false;
   }
+}
+
+Result<bool> GatherExecutor::NextImpl(Tuple* out) {
+  while (batch_idx_ >= batch_.size()) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, PopBatch());
+    if (!has) return false;
+  }
+  *out = std::move(batch_[batch_idx_++]);
+  CountRow();
+  return true;
+}
+
+Result<bool> GatherExecutor::NextBatchImpl(TupleBatch* out) {
+  // One queue vector per call, adopted by move. Workers in batch mode ship at
+  // most ctx batch_size rows per vector, so it always fits `out`. A stream is
+  // driven in exactly one mode, so there are no row-path leftovers in batch_.
+  RELOPT_ASSIGN_OR_RETURN(bool has, PopBatch());
+  if (!has) return false;
+  for (Tuple& t : batch_) out->AppendTuple(std::move(t));
+  batch_.clear();
+  batch_idx_ = 0;
+  CountRows(out->NumSelected());
+  return true;
 }
 
 }  // namespace relopt

@@ -43,13 +43,21 @@ class GatherExecutor : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  /// Adopts one queue batch per call by moving its tuples into `out` —
+  /// workers already ship row vectors, so the batch path stops re-flattening
+  /// them into single rows.
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
 
  private:
   /// Rows per queue batch: amortizes queue locking without adding latency
   /// anyone can observe (the consumer only ever waits for the *first* batch).
+  /// Row-drive mode only; in batch mode workers ship ctx batch_size rows.
   static constexpr size_t kBatchRows = 256;
 
   void WorkerMain(size_t worker_idx);
+  /// Pops the next nonempty queue batch into `batch_`/`batch_idx_`. False at
+  /// end of stream; surfaces the first worker error.
+  Result<bool> PopBatch();
   /// Blocks while the queue is full; false if cancelled (stop producing).
   bool PushBatch(std::vector<Tuple>* batch);
   /// Cancels and waits until every launched worker has finished.

@@ -1,6 +1,7 @@
 // Hash join: in-memory when the build side fits, Grace partitioning when not.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 
 #include "exec/executor.h"
@@ -28,6 +29,7 @@ class HashJoinExecutor : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
 
  private:
   static Schema MakeOutputSchema(const Executor& build, const Executor& probe,
@@ -58,6 +60,15 @@ class HashJoinExecutor : public Executor {
   std::vector<const Tuple*> matches_;
   size_t match_idx_ = 0;
   bool have_probe_ = false;
+
+  // Batched probe state (in-memory mode only; Grace falls back to the row
+  // adapter). Probe keys are encoded for the whole batch up front, then each
+  // probe row's match list is drained into the output batch.
+  TupleBatch probe_batch_;
+  std::vector<std::optional<std::string>> batch_keys_;
+  size_t probe_pos_ = 0;        ///< next unprobed row in probe_batch_
+  bool probe_done_ = false;
+  const Tuple* batch_probe_row_ = nullptr;  ///< probe row owning matches_
 
   // Grace state.
   bool grace_ = false;

@@ -25,6 +25,21 @@ class LimitExecutor : public Executor {
     return true;
   }
 
+  /// Batch path: pass the child batch through, truncating the selection when
+  /// it crosses the limit (the batch-boundary case LIMIT must get right).
+  /// Stops pulling the child once the limit is reached, like the row path.
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    if (emitted_ >= limit_) return false;
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
+    int64_t remaining = limit_ - emitted_;
+    if (static_cast<int64_t>(out->NumSelected()) > remaining) {
+      out->TruncateSelection(static_cast<size_t>(remaining));
+    }
+    emitted_ += static_cast<int64_t>(out->NumSelected());
+    CountRows(out->NumSelected());
+    return has && emitted_ < limit_;
+  }
+
  private:
   ExecutorPtr child_;
   int64_t limit_;

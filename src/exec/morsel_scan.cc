@@ -1,17 +1,12 @@
 #include "exec/morsel_scan.h"
 
-#include <shared_mutex>
-
-#include "storage/slotted_page.h"
-
 namespace relopt {
 
 MorselScanExecutor::MorselScanExecutor(ExecContext* ctx, Schema schema, MorselSource* source)
-    : Executor(ctx, std::move(schema)), source_(source) {}
+    : Executor(ctx, std::move(schema)), source_(source), cursor_(source->heap()) {}
 
 Status MorselScanExecutor::InitImpl() {
-  buffer_.clear();
-  buffer_idx_ = 0;
+  RELOPT_RETURN_NOT_OK(cursor_.Close());
   cur_page_ = 0;
   end_page_ = 0;
   done_ = false;
@@ -19,53 +14,47 @@ Status MorselScanExecutor::InitImpl() {
   return Status::OK();
 }
 
-Status MorselScanExecutor::FillBuffer() {
-  buffer_.clear();
-  buffer_idx_ = 0;
+Result<bool> MorselScanExecutor::NextRecord(Rid* rid, std::string_view* record) {
   while (true) {
+    if (cursor_.IsOpen()) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, cursor_.Next(rid, record));
+      if (has) return true;
+      RELOPT_RETURN_NOT_OK(cursor_.Close());
+    }
+    if (done_) return false;
     if (cur_page_ >= end_page_) {
       if (!source_->NextMorsel(&cur_page_, &end_page_)) {
         done_ = true;
-        return Status::OK();
+        return false;
       }
     }
-    const HeapFile* heap = source_->heap();
-    PageId pid{heap->file_id(), cur_page_++};
-    RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, heap->pool()->FetchPage(pid));
-    Status bad;
-    {
-      std::shared_lock<std::shared_mutex> latch(frame->latch());
-      SlottedPage page(frame->data());
-      uint16_t num_slots = page.NumSlots();
-      for (uint16_t s = 0; s < num_slots; ++s) {
-        if (!page.IsLive(s)) continue;
-        Result<std::string_view> rec = page.Get(s);
-        if (!rec.ok()) {
-          bad = rec.status();
-          break;
-        }
-        Result<Tuple> tuple = Tuple::Deserialize(std::string(*rec), schema_.NumColumns());
-        if (!tuple.ok()) {
-          bad = tuple.status();
-          break;
-        }
-        buffer_.push_back(tuple.MoveValue());
-      }
-    }
-    RELOPT_RETURN_NOT_OK(heap->pool()->UnpinPage(pid, false));
-    RELOPT_RETURN_NOT_OK(bad);
-    if (!buffer_.empty()) return Status::OK();
-    // Page had no live records; keep going.
+    RELOPT_RETURN_NOT_OK(cursor_.Open(cur_page_++));
   }
 }
 
 Result<bool> MorselScanExecutor::NextImpl(Tuple* out) {
-  while (buffer_idx_ >= buffer_.size()) {
-    if (done_) return false;
-    RELOPT_RETURN_NOT_OK(FillBuffer());
-  }
-  *out = std::move(buffer_[buffer_idx_++]);
+  Rid rid;
+  std::string_view bytes;
+  RELOPT_ASSIGN_OR_RETURN(bool has, NextRecord(&rid, &bytes));
+  if (!has) return false;
+  RELOPT_RETURN_NOT_OK(out->FillFrom(bytes, schema_.NumColumns()));
   CountRow();
+  return true;
+}
+
+Result<bool> MorselScanExecutor::NextBatchImpl(TupleBatch* out) {
+  Rid rid;
+  std::string_view bytes;
+  size_t num_cols = schema_.NumColumns();
+  while (!out->Full()) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, NextRecord(&rid, &bytes));
+    if (!has) {
+      CountRows(out->NumSelected());
+      return false;
+    }
+    RELOPT_RETURN_NOT_OK(out->AppendRow()->FillFrom(bytes, num_cols));
+  }
+  CountRows(out->NumSelected());
   return true;
 }
 

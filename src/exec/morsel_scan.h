@@ -51,9 +51,10 @@ class MorselSource : public ParallelSharedState {
 
 /// \brief One worker's share of a parallel sequential scan.
 ///
-/// Processes a page at a time: pin, shared-latch, deserialize every live
-/// record into a local buffer, unlatch, unpin — one pool access per page
-/// instead of per record, so workers contend on the pool mutex rarely.
+/// Walks its claimed morsels a page at a time through a HeapFile::PageCursor
+/// (pin + shared-latch held across calls, one pool access per page) and
+/// deserializes records straight from the pinned frame — no intermediate
+/// per-page tuple buffer and no per-record byte copy.
 class MorselScanExecutor : public Executor {
  public:
   /// `schema` is the alias-qualified output schema; `source` is shared with
@@ -62,15 +63,15 @@ class MorselScanExecutor : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
 
  private:
-  /// Loads the next unread page (advancing morsels as needed) into
-  /// `buffer_`. Sets `done_` when the source is exhausted.
-  Status FillBuffer();
+  /// Next live record across pages and morsels; false once the source is
+  /// exhausted. The view stays valid until the next call.
+  Result<bool> NextRecord(Rid* rid, std::string_view* record);
 
   MorselSource* source_;
-  std::vector<Tuple> buffer_;
-  size_t buffer_idx_ = 0;
+  HeapFile::PageCursor cursor_;
   PageNo cur_page_ = 0;
   PageNo end_page_ = 0;  ///< current morsel is [cur_page_, end_page_)
   bool done_ = false;

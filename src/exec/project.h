@@ -2,6 +2,7 @@
 #pragma once
 
 #include "exec/executor.h"
+#include "expr/vector_eval.h"
 
 namespace relopt {
 
@@ -9,7 +10,10 @@ class ProjectExecutor : public Executor {
  public:
   ProjectExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
                   const std::vector<ExprPtr>* exprs)
-      : Executor(ctx, std::move(out_schema)), child_(std::move(child)), exprs_(exprs) {}
+      : Executor(ctx, std::move(out_schema)),
+        child_(std::move(child)),
+        exprs_(exprs),
+        in_batch_(ctx->batch_size()) {}
 
   Status InitImpl() override {
     ResetCounters();
@@ -31,9 +35,20 @@ class ProjectExecutor : public Executor {
     return true;
   }
 
+  /// Batch path: pull one child batch and project its selected rows into
+  /// reusable output slots. in_batch_ and out share the context batch size,
+  /// so the projection always fits.
+  Result<bool> NextBatchImpl(TupleBatch* out) override {
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_));
+    RELOPT_RETURN_NOT_OK(ProjectBatch(*exprs_, in_batch_, out));
+    CountRows(out->NumSelected());
+    return has;
+  }
+
  private:
   ExecutorPtr child_;
   const std::vector<ExprPtr>* exprs_;
+  TupleBatch in_batch_;  ///< reusable child-output batch (batch drive only)
 };
 
 }  // namespace relopt

@@ -6,18 +6,34 @@ SeqScanExecutor::SeqScanExecutor(ExecContext* ctx, Schema schema, TableInfo* tab
     : Executor(ctx, std::move(schema)), table_(table), iter_(table->heap()) {}
 
 Status SeqScanExecutor::InitImpl() {
-  iter_.Reset();
+  RELOPT_RETURN_NOT_OK(iter_.Reset());
   ResetCounters();
   return Status::OK();
 }
 
 Result<bool> SeqScanExecutor::NextImpl(Tuple* out) {
   Rid rid;
-  std::string bytes;
+  std::string_view bytes;
   RELOPT_ASSIGN_OR_RETURN(bool has, iter_.Next(&rid, &bytes));
   if (!has) return false;
-  RELOPT_ASSIGN_OR_RETURN(*out, Tuple::Deserialize(bytes, schema_.NumColumns()));
+  RELOPT_RETURN_NOT_OK(out->FillFrom(bytes, schema_.NumColumns()));
   CountRow();
+  return true;
+}
+
+Result<bool> SeqScanExecutor::NextBatchImpl(TupleBatch* out) {
+  Rid rid;
+  std::string_view bytes;
+  size_t num_cols = schema_.NumColumns();
+  while (!out->Full()) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, iter_.Next(&rid, &bytes));
+    if (!has) {
+      CountRows(out->NumSelected());
+      return false;
+    }
+    RELOPT_RETURN_NOT_OK(out->AppendRow()->FillFrom(bytes, num_cols));
+  }
+  CountRows(out->NumSelected());
   return true;
 }
 

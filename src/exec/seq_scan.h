@@ -12,10 +12,15 @@ class SeqScanExecutor : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
 
  private:
   TableInfo* table_;
-  HeapFile::Iterator iter_;
+  // View-based iterator: one pool access + latch per page (held across Next
+  // calls), records deserialized straight from the pinned frame with no
+  // per-row byte-buffer copy. Both row and batch drive modes share it, so
+  // their page I/O is identical.
+  HeapFile::ViewIterator iter_;
 };
 
 }  // namespace relopt

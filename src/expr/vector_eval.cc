@@ -1,0 +1,154 @@
+#include "expr/vector_eval.h"
+
+#include <optional>
+
+namespace relopt {
+
+namespace {
+
+void CollectConjunctsInto(const Expression* pred, std::vector<const Expression*>* out) {
+  if (pred == nullptr) return;
+  if (pred->kind() == ExprKind::kLogical) {
+    const auto* logical = static_cast<const LogicalExpr*>(pred);
+    if (logical->op() == LogicalOp::kAnd) {
+      for (const ExprPtr& child : logical->children()) {
+        CollectConjunctsInto(child.get(), out);
+      }
+      return;
+    }
+  }
+  out->push_back(pred);
+}
+
+// A conjunct of the shape `column <op> literal` (or the mirror), recognized
+// once per batch so the per-row loop can compare values directly instead of
+// routing every row through two virtual Eval calls and two Value copies.
+struct ColumnLiteralCompare {
+  int col;
+  CompareOp op;
+  const Value* literal;  // owned by the expression tree
+};
+
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // eq/ne are symmetric
+  }
+}
+
+bool ApplyOp(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+std::optional<ColumnLiteralCompare> MatchColumnLiteralCompare(const Expression* e) {
+  if (e->kind() != ExprKind::kComparison) return std::nullopt;
+  const auto* cmp = static_cast<const ComparisonExpr*>(e);
+  const Expression* l = cmp->left();
+  const Expression* r = cmp->right();
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+    const auto* col = static_cast<const ColumnRefExpr*>(l);
+    if (!col->IsBound()) return std::nullopt;
+    return ColumnLiteralCompare{col->bound_index(), cmp->op(),
+                                &static_cast<const LiteralExpr*>(r)->value()};
+  }
+  if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
+    const auto* col = static_cast<const ColumnRefExpr*>(r);
+    if (!col->IsBound()) return std::nullopt;
+    return ColumnLiteralCompare{col->bound_index(), MirrorOp(cmp->op()),
+                                &static_cast<const LiteralExpr*>(l)->value()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<const Expression*> CollectConjuncts(const Expression* pred) {
+  std::vector<const Expression*> out;
+  CollectConjunctsInto(pred, &out);
+  return out;
+}
+
+Status FilterBatch(const std::vector<const Expression*>& conjuncts, TupleBatch* batch) {
+  std::vector<uint32_t>* sel = batch->mutable_selection();
+  for (const Expression* conjunct : conjuncts) {
+    if (sel->empty()) break;
+    size_t kept = 0;
+    if (std::optional<ColumnLiteralCompare> fast = MatchColumnLiteralCompare(conjunct)) {
+      if (fast->literal->is_null()) {
+        // `col <op> NULL` is NULL for every row; the filter rejects them all.
+        sel->clear();
+        break;
+      }
+      for (uint32_t row : *sel) {
+        const Tuple& t = batch->RowAt(row);
+        if (static_cast<size_t>(fast->col) >= t.NumValues()) {
+          // Malformed row; route through Eval for its diagnostic.
+          RELOPT_ASSIGN_OR_RETURN(Value v, conjunct->Eval(t));
+          if (!v.is_null() && v.AsBool()) (*sel)[kept++] = row;
+          continue;
+        }
+        const Value& v = t.At(static_cast<size_t>(fast->col));
+        if (v.is_null()) continue;  // NULL comparison -> NULL -> rejected
+        RELOPT_ASSIGN_OR_RETURN(int c, v.Compare(*fast->literal));
+        if (ApplyOp(fast->op, c)) (*sel)[kept++] = row;
+      }
+    } else {
+      for (uint32_t row : *sel) {
+        RELOPT_ASSIGN_OR_RETURN(Value v, conjunct->Eval(batch->RowAt(row)));
+        if (!v.is_null() && v.AsBool()) (*sel)[kept++] = row;
+      }
+    }
+    sel->resize(kept);
+  }
+  return Status::OK();
+}
+
+Status ProjectBatch(const std::vector<ExprPtr>& exprs, const TupleBatch& in, TupleBatch* out) {
+  out->Clear();
+  // Hoisted per-expression dispatch: a bare bound column reference copies the
+  // value straight across; everything else goes through Eval per row.
+  std::vector<int> direct_col(exprs.size(), -1);
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (exprs[i]->kind() == ExprKind::kColumnRef) {
+      const auto* col = static_cast<const ColumnRefExpr*>(exprs[i].get());
+      if (col->IsBound()) direct_col[i] = col->bound_index();
+    }
+  }
+  for (size_t k = 0; k < in.NumSelected(); ++k) {
+    const Tuple& row = in.SelectedRow(k);
+    Tuple* slot = out->AppendRow();
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (direct_col[i] >= 0 && static_cast<size_t>(direct_col[i]) < row.NumValues()) {
+        slot->Append(row.At(static_cast<size_t>(direct_col[i])));
+        continue;
+      }
+      RELOPT_ASSIGN_OR_RETURN(Value v, exprs[i]->Eval(row));
+      slot->Append(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace relopt

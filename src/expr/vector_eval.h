@@ -1,0 +1,36 @@
+// Batch (vectorized) expression evaluation over TupleBatch selection vectors.
+#pragma once
+
+#include <vector>
+
+#include "expr/expression.h"
+#include "types/tuple_batch.h"
+#include "util/result.h"
+
+namespace relopt {
+
+/// \brief Splits a bound predicate into its top-level AND conjuncts,
+/// non-owning (the predicate keeps ownership; pointers stay valid as long as
+/// it lives). A non-AND predicate is a single conjunct; nullptr yields none.
+///
+/// Conjunct-wise filtering is equivalent to evaluating the whole AND per row:
+/// under SQL three-valued logic a row passes the AND iff every conjunct
+/// evaluates to true (any false OR NULL conjunct makes the AND false-or-NULL,
+/// which a filter rejects either way).
+std::vector<const Expression*> CollectConjuncts(const Expression* pred);
+
+/// \brief Filters `batch` in place: after the call its selection vector keeps
+/// only the rows for which every conjunct evaluates to true.
+///
+/// Evaluates one conjunct at a time over the surviving selection, compacting
+/// it in place and short-circuiting once it is empty — rows rejected by an
+/// earlier conjunct never evaluate the later ones (same work-skipping as the
+/// row-at-a-time AND evaluator, amortized over the batch).
+Status FilterBatch(const std::vector<const Expression*>& conjuncts, TupleBatch* batch);
+
+/// \brief Projects the selected rows of `in` through `exprs` into `out`
+/// (cleared first). Output rows reuse `out`'s tuple storage; `out` must have
+/// capacity >= in.NumSelected().
+Status ProjectBatch(const std::vector<ExprPtr>& exprs, const TupleBatch& in, TupleBatch* out);
+
+}  // namespace relopt

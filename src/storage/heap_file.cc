@@ -87,6 +87,55 @@ Status HeapFile::Delete(Rid rid) {
   return st;
 }
 
+Status HeapFile::PageCursor::Open(PageNo page_no) {
+  RELOPT_RETURN_NOT_OK(Close());
+  PageId pid{heap_->file_id(), page_no};
+  RELOPT_ASSIGN_OR_RETURN(PageFrame * frame, heap_->pool()->FetchPage(pid));
+  frame_ = frame;
+  frame_->latch().lock_shared();
+  page_no_ = page_no;
+  slot_ = 0;
+  num_slots_ = SlottedPage(frame_->data()).NumSlots();
+  return Status::OK();
+}
+
+Result<bool> HeapFile::PageCursor::Next(Rid* rid, std::string_view* record) {
+  if (frame_ == nullptr) return false;
+  SlottedPage page(frame_->data());
+  while (slot_ < num_slots_) {
+    uint16_t s = slot_++;
+    if (!page.IsLive(s)) continue;
+    RELOPT_ASSIGN_OR_RETURN(*record, page.Get(s));
+    *rid = Rid{page_no_, s};
+    return true;
+  }
+  return false;
+}
+
+Status HeapFile::PageCursor::Close() {
+  if (frame_ == nullptr) return Status::OK();
+  frame_->latch().unlock_shared();
+  frame_ = nullptr;
+  return heap_->pool()->UnpinPage(PageId{heap_->file_id(), page_no_}, false);
+}
+
+Result<bool> HeapFile::ViewIterator::Next(Rid* rid, std::string_view* record) {
+  while (true) {
+    if (cursor_.IsOpen()) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, cursor_.Next(rid, record));
+      if (has) return true;
+      RELOPT_RETURN_NOT_OK(cursor_.Close());
+    }
+    if (next_page_ >= heap_->NumPages()) return false;
+    RELOPT_RETURN_NOT_OK(cursor_.Open(next_page_++));
+  }
+}
+
+Status HeapFile::ViewIterator::Reset() {
+  next_page_ = 0;
+  return cursor_.Close();
+}
+
 HeapFile::Iterator::Iterator(const HeapFile* heap) : heap_(heap) {}
 
 void HeapFile::Iterator::Reset() {

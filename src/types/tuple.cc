@@ -14,18 +14,24 @@ std::string Tuple::Serialize() const {
   return out;
 }
 
-Result<Tuple> Tuple::Deserialize(const std::string& data, size_t num_values) {
-  std::vector<Value> vals;
-  vals.reserve(num_values);
+Result<Tuple> Tuple::Deserialize(std::string_view data, size_t num_values) {
+  Tuple t;
+  RELOPT_RETURN_NOT_OK(t.FillFrom(data, num_values));
+  return t;
+}
+
+Status Tuple::FillFrom(std::string_view data, size_t num_values) {
+  values_.clear();
+  if (values_.capacity() < num_values) values_.reserve(num_values);
   size_t offset = 0;
   for (size_t i = 0; i < num_values; ++i) {
     RELOPT_ASSIGN_OR_RETURN(Value v, Value::DeserializeFrom(data, &offset));
-    vals.push_back(std::move(v));
+    values_.push_back(std::move(v));
   }
   if (offset != data.size()) {
     return Status::Internal("trailing bytes after tuple deserialize");
   }
-  return Tuple(std::move(vals));
+  return Status::OK();
 }
 
 std::string Tuple::ToString() const {

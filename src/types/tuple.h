@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "types/schema.h"
@@ -23,6 +24,10 @@ class Tuple {
 
   void Append(Value v) { values_.push_back(std::move(v)); }
 
+  /// Drops all values but keeps the vector's capacity, so a recycled Tuple
+  /// refills without reallocating (the batch-execution hot path).
+  void Clear() { values_.clear(); }
+
   /// Concatenation (left row ++ right row), used by joins.
   static Tuple Concat(const Tuple& left, const Tuple& right);
 
@@ -30,7 +35,12 @@ class Tuple {
   std::string Serialize() const;
 
   /// Parses a tuple with `num_values` values from `data`.
-  static Result<Tuple> Deserialize(const std::string& data, size_t num_values);
+  static Result<Tuple> Deserialize(std::string_view data, size_t num_values);
+
+  /// Clear-and-refill deserialization into an existing Tuple, reusing its
+  /// value storage. Equivalent to `*this = *Deserialize(data, n)` without
+  /// the vector reconstruction.
+  Status FillFrom(std::string_view data, size_t num_values);
 
   /// "(1, 'x', NULL)".
   std::string ToString() const;

@@ -165,7 +165,7 @@ void Value::SerializeTo(std::string* out) const {
   }
 }
 
-Result<Value> Value::DeserializeFrom(const std::string& data, size_t* offset) {
+Result<Value> Value::DeserializeFrom(std::string_view data, size_t* offset) {
   if (*offset >= data.size()) return Status::OutOfRange("value deserialize past end");
   uint8_t tag = static_cast<uint8_t>(data[(*offset)++]);
   auto need = [&](size_t n) -> Status {
@@ -202,7 +202,7 @@ Result<Value> Value::DeserializeFrom(const std::string& data, size_t* offset) {
       std::memcpy(&len, data.data() + *offset, sizeof(len));
       *offset += sizeof(len);
       RELOPT_RETURN_NOT_OK(need(len));
-      Value v = Value::String(data.substr(*offset, len));
+      Value v = Value::String(std::string(data.substr(*offset, len)));
       *offset += len;
       return v;
     }

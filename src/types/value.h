@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "types/type.h"
@@ -69,7 +70,7 @@ class Value {
   void SerializeTo(std::string* out) const;
 
   /// Deserializes one value from `data` at `*offset`, advancing it.
-  static Result<Value> DeserializeFrom(const std::string& data, size_t* offset);
+  static Result<Value> DeserializeFrom(std::string_view data, size_t* offset);
 
   bool operator==(const Value& other) const { return Equals(other); }
 
