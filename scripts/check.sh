@@ -24,15 +24,25 @@ echo "== bench_vectorized smoke (asan) =="
 # RELOPT_BENCH_JSON_DIR dump paths, without benchmark-scale runtime.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_vectorized 2000
 
+echo "== bench_aggregate smoke (asan) =="
+# Tiny row count: exercises the partitioned hash aggregation matrix (grouped
+# low/high cardinality + global, row/batch x parallelism 1/2/4) under ASAN.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_aggregate 2000
+
 echo "== tsan build (concurrency tests) =="
 cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized'
+  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate'
 
 echo "== bench_vectorized smoke (tsan) =="
 # The par2 block drives whole batches through Gather worker threads; TSan
 # checks the batch hand-off and the PageCursor shared-latch discipline.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_vectorized 2000
+
+echo "== bench_aggregate smoke (tsan) =="
+# Parallel rows accumulate into per-worker partitions and merge across the
+# barrier; TSan checks the shared-state hand-off and the disjoint merge/emit.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_aggregate 2000
 
 echo "All checks passed."

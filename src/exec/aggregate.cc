@@ -1,21 +1,34 @@
 #include "exec/aggregate.h"
 
+#include "expr/vector_eval.h"
 #include "types/key_codec.h"
 
 namespace relopt {
 
-AggregateExecutor::AggregateExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
-                                     std::vector<const Expression*> group_exprs,
-                                     std::vector<AggSpecExec> aggs)
-    : Executor(ctx, std::move(out_schema)),
-      child_(std::move(child)),
-      group_exprs_(std::move(group_exprs)),
-      aggs_(std::move(aggs)) {}
+namespace {
 
-Status AggregateExecutor::Accumulate(Group* group, const Tuple& tuple) {
-  for (size_t i = 0; i < aggs_.size(); ++i) {
-    Accumulator& acc = group->accs[i];
-    const AggSpecExec& spec = aggs_[i];
+/// Checked int64 accumulation for SUM/AVG: SUM errors instead of wrapping,
+/// AVG widens to double (lossy above 2^53, like every double AVG).
+Status AccumulateIntSum(int64_t addend, AggFunc func, AggAccumulator* acc) {
+  int64_t sum;
+  if (!__builtin_add_overflow(acc->sum_i, addend, &sum)) {
+    acc->sum_i = sum;
+    return Status::OK();
+  }
+  if (func == AggFunc::kAvg) {
+    acc->sum_d = static_cast<double>(acc->sum_i) + static_cast<double>(addend);
+    acc->sum_is_int = false;
+    return Status::OK();
+  }
+  return Status::OutOfRange("integer overflow in SUM aggregate");
+}
+
+}  // namespace
+
+Status AccumulateTuple(const std::vector<AggSpecExec>& aggs, const Tuple& tuple, AggGroup* group) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    AggAccumulator& acc = group->accs[i];
+    const AggSpecExec& spec = aggs[i];
     if (spec.func == AggFunc::kCountStar) {
       acc.count++;
       acc.has_value = true;
@@ -30,7 +43,7 @@ Status AggregateExecutor::Accumulate(Group* group, const Tuple& tuple) {
       case AggFunc::kSum:
       case AggFunc::kAvg:
         if (v.type() == TypeId::kInt64 && acc.sum_is_int) {
-          acc.sum_i += v.AsInt();
+          RELOPT_RETURN_NOT_OK(AccumulateIntSum(v.AsInt(), spec.func, &acc));
         } else {
           if (acc.sum_is_int) {
             acc.sum_d = static_cast<double>(acc.sum_i);
@@ -65,7 +78,55 @@ Status AggregateExecutor::Accumulate(Group* group, const Tuple& tuple) {
   return Status::OK();
 }
 
-Result<Value> AggregateExecutor::Finalize(const Accumulator& acc, const AggSpecExec& spec) const {
+Status MergeAggGroup(const std::vector<AggSpecExec>& aggs, const AggGroup& from, AggGroup* into) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggAccumulator& src = from.accs[i];
+    AggAccumulator& dst = into->accs[i];
+    const AggSpecExec& spec = aggs[i];
+    dst.count += src.count;
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (src.sum_is_int && dst.sum_is_int) {
+          RELOPT_RETURN_NOT_OK(AccumulateIntSum(src.sum_i, spec.func, &dst));
+        } else {
+          if (dst.sum_is_int) {
+            dst.sum_d = static_cast<double>(dst.sum_i);
+            dst.sum_is_int = false;
+          }
+          dst.sum_d += src.sum_is_int ? static_cast<double>(src.sum_i) : src.sum_d;
+        }
+        break;
+      case AggFunc::kMin:
+        if (src.has_value) {
+          if (!dst.has_value) {
+            dst.min = src.min;
+          } else {
+            RELOPT_ASSIGN_OR_RETURN(int c, src.min.Compare(dst.min));
+            if (c < 0) dst.min = src.min;
+          }
+        }
+        break;
+      case AggFunc::kMax:
+        if (src.has_value) {
+          if (!dst.has_value) {
+            dst.max = src.max;
+          } else {
+            RELOPT_ASSIGN_OR_RETURN(int c, src.max.Compare(dst.max));
+            if (c > 0) dst.max = src.max;
+          }
+        }
+        break;
+    }
+    dst.has_value = dst.has_value || src.has_value;
+  }
+  return Status::OK();
+}
+
+Result<Value> FinalizeAggregate(const AggSpecExec& spec, const AggAccumulator& acc) {
   switch (spec.func) {
     case AggFunc::kCountStar:
     case AggFunc::kCount:
@@ -86,36 +147,72 @@ Result<Value> AggregateExecutor::Finalize(const Accumulator& acc, const AggSpecE
   return Status::Internal("bad aggregate function");
 }
 
+Status EmitAggGroup(const std::vector<AggSpecExec>& aggs, const AggGroup& group, Tuple* out) {
+  for (const Value& k : group.keys) out->Append(k);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    RELOPT_ASSIGN_OR_RETURN(Value v, FinalizeAggregate(aggs[i], group.accs[i]));
+    out->Append(std::move(v));
+  }
+  return Status::OK();
+}
+
+AggregateExecutor::AggregateExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
+                                     std::vector<const Expression*> group_exprs,
+                                     std::vector<AggSpecExec> aggs)
+    : Executor(ctx, std::move(out_schema)),
+      child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)) {}
+
+Status AggregateExecutor::IngestRow(const std::string& enc, const Tuple& tuple) {
+  return AccumulateKeyedRow(group_exprs_, aggs_, enc, tuple, &groups_);
+}
+
+Status AggregateExecutor::IngestRowStream() {
+  Tuple t;
+  std::string enc;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+    if (!has) break;
+    enc.clear();
+    for (const Expression* g : group_exprs_) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, g->Eval(t));
+      EncodeKeyValue(v, &enc);
+    }
+    RELOPT_RETURN_NOT_OK(IngestRow(enc, t));
+  }
+  return Status::OK();
+}
+
+Status AggregateExecutor::IngestBatchStream() {
+  TupleBatch batch(ctx_->batch_size());
+  std::vector<std::string> keys;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+    RELOPT_RETURN_NOT_OK(ComputeGroupKeys(group_exprs_, batch, &keys));
+    for (size_t k = 0; k < batch.NumSelected(); ++k) {
+      RELOPT_RETURN_NOT_OK(IngestRow(keys[k], batch.SelectedRow(k)));
+    }
+    if (!has) break;
+  }
+  return Status::OK();
+}
+
 Status AggregateExecutor::InitImpl() {
   groups_.clear();
   done_build_ = false;
   ResetCounters();
   RELOPT_RETURN_NOT_OK(child_->Init());
 
-  Tuple t;
-  while (true) {
-    RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
-    if (!has) break;
-    std::vector<Value> keys;
-    keys.reserve(group_exprs_.size());
-    for (const Expression* g : group_exprs_) {
-      RELOPT_ASSIGN_OR_RETURN(Value v, g->Eval(t));
-      keys.push_back(std::move(v));
-    }
-    std::string enc = EncodeKey(keys);
-    auto it = groups_.find(enc);
-    if (it == groups_.end()) {
-      Group group;
-      group.keys = std::move(keys);
-      group.accs.resize(aggs_.size());
-      it = groups_.emplace(std::move(enc), std::move(group)).first;
-    }
-    RELOPT_RETURN_NOT_OK(Accumulate(&it->second, t));
+  if (ctx_->batch_size() > 0) {
+    RELOPT_RETURN_NOT_OK(IngestBatchStream());
+  } else {
+    RELOPT_RETURN_NOT_OK(IngestRowStream());
   }
 
   // Scalar aggregate over an empty input still yields one (default) row.
   if (groups_.empty() && group_exprs_.empty()) {
-    Group group;
+    AggGroup group;
     group.accs.resize(aggs_.size());
     groups_.emplace(std::string(), std::move(group));
   }
@@ -126,16 +223,21 @@ Status AggregateExecutor::InitImpl() {
 
 Result<bool> AggregateExecutor::NextImpl(Tuple* out) {
   if (!done_build_ || out_iter_ == groups_.end()) return false;
-  const Group& group = out_iter_->second;
-  std::vector<Value> values = group.keys;
-  for (size_t i = 0; i < aggs_.size(); ++i) {
-    RELOPT_ASSIGN_OR_RETURN(Value v, Finalize(group.accs[i], aggs_[i]));
-    values.push_back(std::move(v));
-  }
-  *out = Tuple(std::move(values));
+  out->Clear();
+  RELOPT_RETURN_NOT_OK(EmitAggGroup(aggs_, out_iter_->second, out));
   ++out_iter_;
   CountRow();
   return true;
+}
+
+Result<bool> AggregateExecutor::NextBatchImpl(TupleBatch* out) {
+  if (!done_build_) return false;
+  while (!out->Full() && out_iter_ != groups_.end()) {
+    RELOPT_RETURN_NOT_OK(EmitAggGroup(aggs_, out_iter_->second, out->AppendRow()));
+    ++out_iter_;
+  }
+  CountRows(out->NumSelected());
+  return out_iter_ != groups_.end();
 }
 
 }  // namespace relopt

@@ -1,7 +1,10 @@
-// Hash aggregation executor.
+// Hash aggregation: the serial executor plus the accumulate/merge/finalize
+// core shared with the parallel partitioned aggregation workers.
 #pragma once
 
 #include <map>
+#include <string>
+#include <vector>
 
 #include "exec/executor.h"
 
@@ -13,6 +16,68 @@ struct AggSpecExec {
   const Expression* arg;  // null for COUNT(*)
 };
 
+/// \brief Running state of one aggregate within one group.
+///
+/// Integer SUM/AVG accumulate into a checked int64: SUM reports OutOfRange
+/// instead of wrapping on overflow, AVG widens to double (its result is a
+/// double anyway). Any double input also switches the accumulator to `sum_d`.
+struct AggAccumulator {
+  int64_t count = 0;  // COUNT(expr) / COUNT(*) and AVG denominator
+  double sum_d = 0;
+  int64_t sum_i = 0;
+  bool sum_is_int = true;
+  bool has_value = false;  // any non-null input seen
+  Value min;
+  Value max;
+};
+
+/// One group: its key values plus one accumulator per aggregate.
+struct AggGroup {
+  std::vector<Value> keys;
+  std::vector<AggAccumulator> accs;
+};
+
+/// Folds one input row into `group`. SQL semantics: COUNT(*) counts rows;
+/// COUNT/SUM/MIN/MAX/AVG ignore NULL arguments.
+Status AccumulateTuple(const std::vector<AggSpecExec>& aggs, const Tuple& tuple, AggGroup* group);
+
+/// Merges the partial accumulators of `from` into `into` (same group key,
+/// accumulated separately by different workers). Merge is associative and
+/// commutative with AccumulateTuple — counts and sums add, min/max compare —
+/// so partitioned parallel aggregation produces exactly the serial result.
+Status MergeAggGroup(const std::vector<AggSpecExec>& aggs, const AggGroup& from, AggGroup* into);
+
+/// Final value of one aggregate. SUM/MIN/MAX/AVG over zero non-null inputs
+/// yield NULL; COUNT yields 0.
+Result<Value> FinalizeAggregate(const AggSpecExec& spec, const AggAccumulator& acc);
+
+/// Appends `group`'s key values and finalized aggregates to `out` — the
+/// output row layout shared by the serial executor and the parallel workers.
+/// `out` must be clear.
+Status EmitAggGroup(const std::vector<AggSpecExec>& aggs, const AggGroup& group, Tuple* out);
+
+/// Finds-or-creates the group for encoded key `enc` in `groups` and folds
+/// `tuple` into it. Group key values are evaluated only on a miss (once per
+/// group). Works over any map<string, AggGroup> (the serial executor's
+/// ordered map, the parallel workers' unordered partitions).
+template <typename GroupMap>
+Status AccumulateKeyedRow(const std::vector<const Expression*>& group_exprs,
+                          const std::vector<AggSpecExec>& aggs, const std::string& enc,
+                          const Tuple& tuple, GroupMap* groups) {
+  auto it = groups->find(enc);
+  if (it == groups->end()) {
+    AggGroup group;
+    group.keys.reserve(group_exprs.size());
+    for (const Expression* g : group_exprs) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, g->Eval(tuple));
+      group.keys.push_back(std::move(v));
+    }
+    group.accs.resize(aggs.size());
+    it = groups->emplace(enc, std::move(group)).first;
+  }
+  return AccumulateTuple(aggs, tuple, &it->second);
+}
+
 /// \brief Hash (here: ordered-map) aggregation. Groups on the encoded group
 /// key, so NULLs group together (SQL GROUP BY semantics) and output order is
 /// deterministic (ascending group key).
@@ -20,6 +85,11 @@ struct AggSpecExec {
 /// SQL semantics: COUNT(*) counts rows; COUNT/SUM/MIN/MAX/AVG ignore NULL
 /// arguments; SUM/MIN/MAX/AVG over zero non-null inputs yield NULL. With no
 /// GROUP BY, an empty input still produces one row.
+///
+/// Under vectorized drive (ctx batch_size > 0) both sides are native batch:
+/// ingest pulls TupleBatches from the child and computes encoded group keys
+/// per batch (ComputeGroupKeys), emit fills output batches a group row at a
+/// time. Row drive is byte-identical to the pre-vectorized path.
 class AggregateExecutor : public Executor {
  public:
   AggregateExecutor(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
@@ -27,32 +97,21 @@ class AggregateExecutor : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
 
  private:
-  struct Accumulator {
-    int64_t count = 0;        // COUNT(expr) / COUNT(*) and AVG denominator
-    double sum_d = 0;
-    int64_t sum_i = 0;
-    bool sum_is_int = true;
-    bool has_value = false;   // any non-null input seen
-    Value min;
-    Value max;
-  };
-
-  struct Group {
-    std::vector<Value> keys;
-    std::vector<Accumulator> accs;
-  };
-
-  Status Accumulate(Group* group, const Tuple& tuple);
-  Result<Value> Finalize(const Accumulator& acc, const AggSpecExec& spec) const;
+  /// Finds-or-creates the group for `enc` and accumulates `tuple` into it.
+  /// Group key values are evaluated only on a miss (once per group).
+  Status IngestRow(const std::string& enc, const Tuple& tuple);
+  Status IngestRowStream();
+  Status IngestBatchStream();
 
   ExecutorPtr child_;
   std::vector<const Expression*> group_exprs_;
   std::vector<AggSpecExec> aggs_;
 
-  std::map<std::string, Group> groups_;
-  std::map<std::string, Group>::const_iterator out_iter_;
+  std::map<std::string, AggGroup> groups_;
+  std::map<std::string, AggGroup>::const_iterator out_iter_;
   bool done_build_ = false;
 };
 

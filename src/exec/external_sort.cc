@@ -118,16 +118,34 @@ Status ExternalSortExecutor::InitImpl() {
 
   const size_t budget = ctx_->operator_memory_pages() * kPageSize;
   size_t bytes = 0;
-  Tuple t;
-  while (true) {
-    RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
-    if (!has) break;
+  auto ingest = [&](Tuple&& t) -> Status {
     RELOPT_ASSIGN_OR_RETURN(std::string key, EncodeSortKey(t));
     bytes += key.size() + t.Serialize().size() + 32;
     memory_items_.push_back(Item{std::move(key), std::move(t)});
     if (bytes > budget) {
       RELOPT_RETURN_NOT_OK(FlushRun(&memory_items_));
       bytes = 0;
+    }
+    return Status::OK();
+  };
+  if (ctx_->batch_size() > 0) {
+    // Native batch ingest: adopt whole batches from the child instead of
+    // paying per-row virtual dispatch through the row adapter. Moving out of
+    // the batch slots is safe — NextBatch clears them before refilling.
+    TupleBatch batch(ctx_->batch_size());
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      for (uint32_t row : batch.selection()) {
+        RELOPT_RETURN_NOT_OK(ingest(std::move(*batch.MutableRowAt(row))));
+      }
+      if (!has) break;
+    }
+  } else {
+    Tuple t;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+      if (!has) break;
+      RELOPT_RETURN_NOT_OK(ingest(std::move(t)));
     }
   }
 

@@ -8,12 +8,25 @@ Status MaterializeExecutor::InitImpl() {
     RELOPT_ASSIGN_OR_RETURN(HeapFile heap, ctx_->CreateScratchHeap());
     spool_ = std::make_unique<HeapFile>(std::move(heap));
     RELOPT_RETURN_NOT_OK(child_->Init());
-    Tuple t;
-    while (true) {
-      RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
-      if (!has) break;
-      RELOPT_ASSIGN_OR_RETURN(Rid rid, spool_->Insert(t.Serialize()));
-      (void)rid;
+    if (ctx_->batch_size() > 0) {
+      // Native batch ingest: spool whole batches, no row-adapter dispatch.
+      TupleBatch batch(ctx_->batch_size());
+      while (true) {
+        RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+        for (size_t k = 0; k < batch.NumSelected(); ++k) {
+          RELOPT_ASSIGN_OR_RETURN(Rid rid, spool_->Insert(batch.SelectedRow(k).Serialize()));
+          (void)rid;
+        }
+        if (!has) break;
+      }
+    } else {
+      Tuple t;
+      while (true) {
+        RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+        if (!has) break;
+        RELOPT_ASSIGN_OR_RETURN(Rid rid, spool_->Insert(t.Serialize()));
+        (void)rid;
+      }
     }
   }
   iter_ = std::make_unique<HeapFile::Iterator>(spool_.get());

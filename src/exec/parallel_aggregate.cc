@@ -1,0 +1,126 @@
+#include "exec/parallel_aggregate.h"
+
+#include "expr/vector_eval.h"
+#include "types/key_codec.h"
+
+namespace relopt {
+
+ParallelAggregateWorker::ParallelAggregateWorker(ExecContext* ctx, Schema out_schema,
+                                                 ExecutorPtr child,
+                                                 std::vector<const Expression*> group_exprs,
+                                                 std::vector<AggSpecExec> aggs,
+                                                 std::shared_ptr<SharedAggregateState> shared,
+                                                 size_t worker_idx)
+    : Executor(ctx, std::move(out_schema)),
+      child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      shared_(std::move(shared)),
+      worker_idx_(worker_idx) {}
+
+Status ParallelAggregateWorker::AccumulatePhase() {
+  const size_t num_parts = shared_->num_workers();
+  std::vector<SharedAggregateState::GroupMap>& mine = shared_->worker_partitions(worker_idx_);
+  RELOPT_RETURN_NOT_OK(child_->Init());
+  if (ctx_->batch_size() > 0) {
+    TupleBatch batch(ctx_->batch_size());
+    std::vector<std::string> keys;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      RELOPT_RETURN_NOT_OK(ComputeGroupKeys(group_exprs_, batch, &keys));
+      for (size_t k = 0; k < batch.NumSelected(); ++k) {
+        RELOPT_RETURN_NOT_OK(AccumulateKeyedRow(group_exprs_, aggs_, keys[k],
+                                                batch.SelectedRow(k),
+                                                &mine[hasher_(keys[k]) % num_parts]));
+      }
+      if (!has) break;
+    }
+  } else {
+    Tuple t;
+    std::string enc;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
+      if (!has) break;
+      enc.clear();
+      for (const Expression* g : group_exprs_) {
+        RELOPT_ASSIGN_OR_RETURN(Value v, g->Eval(t));
+        EncodeKeyValue(v, &enc);
+      }
+      RELOPT_RETURN_NOT_OK(
+          AccumulateKeyedRow(group_exprs_, aggs_, enc, t, &mine[hasher_(enc) % num_parts]));
+    }
+  }
+  return Status::OK();
+}
+
+Status ParallelAggregateWorker::MergePhase() {
+  SharedAggregateState::GroupMap& merged = shared_->merged(worker_idx_);
+  for (size_t w = 0; w < shared_->num_workers(); ++w) {
+    SharedAggregateState::GroupMap& part = shared_->partition(w, worker_idx_);
+    if (merged.empty()) {
+      merged = std::move(part);
+    } else {
+      for (auto& kv : part) {
+        auto it = merged.find(kv.first);
+        if (it == merged.end()) {
+          merged.emplace(kv.first, std::move(kv.second));
+        } else {
+          RELOPT_RETURN_NOT_OK(MergeAggGroup(aggs_, kv.second, &it->second));
+        }
+      }
+    }
+    part.clear();
+  }
+  // Scalar aggregate over an empty input still yields one (default) row,
+  // emitted by the worker owning the empty key's partition.
+  if (group_exprs_.empty() && merged.empty() &&
+      hasher_(std::string()) % shared_->num_workers() == worker_idx_) {
+    AggGroup group;
+    group.accs.resize(aggs_.size());
+    merged.emplace(std::string(), std::move(group));
+  }
+  return Status::OK();
+}
+
+Status ParallelAggregateWorker::InitImpl() {
+  merged_ = nullptr;
+  ResetCounters();
+
+  // SPMD discipline: park errors in the shared state and hit both barriers
+  // unconditionally, or a sibling deadlocks waiting for us.
+  Status st = AccumulatePhase();
+  if (!st.ok()) shared_->RecordError(st);
+  shared_->barrier().ArriveAndWait();  // all fragment rows partitioned
+
+  if (!shared_->failed()) {
+    st = MergePhase();
+    if (!st.ok()) shared_->RecordError(st);
+  }
+  shared_->barrier().ArriveAndWait();  // all partitions merged; errors settled
+
+  if (shared_->failed()) return shared_->first_error();
+  merged_ = &shared_->merged(worker_idx_);
+  out_iter_ = merged_->begin();
+  return Status::OK();
+}
+
+Result<bool> ParallelAggregateWorker::NextImpl(Tuple* out) {
+  if (merged_ == nullptr || out_iter_ == merged_->end()) return false;
+  out->Clear();
+  RELOPT_RETURN_NOT_OK(EmitAggGroup(aggs_, out_iter_->second, out));
+  ++out_iter_;
+  CountRow();
+  return true;
+}
+
+Result<bool> ParallelAggregateWorker::NextBatchImpl(TupleBatch* out) {
+  if (merged_ == nullptr) return false;
+  while (!out->Full() && out_iter_ != merged_->end()) {
+    RELOPT_RETURN_NOT_OK(EmitAggGroup(aggs_, out_iter_->second, out->AppendRow()));
+    ++out_iter_;
+  }
+  CountRows(out->NumSelected());
+  return out_iter_ != merged_->end();
+}
+
+}  // namespace relopt

@@ -1,0 +1,120 @@
+// Partitioned parallel hash aggregation: workers accumulate their fragment's
+// rows into per-worker hash partitions keyed by the encoded group key, a
+// barrier, each worker merges one disjoint partition column, a barrier, then
+// every worker emits its own merged partition lock-free.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/aggregate.h"
+#include "exec/gather.h"
+#include "util/thread_pool.h"
+
+namespace relopt {
+
+/// \brief State shared by the workers of one parallel aggregation.
+///
+/// Layout: `partitions[w][p]` holds the groups worker `w` accumulated for
+/// partition `p` (p = hash(encoded key) % P) while draining its fragment;
+/// after the first barrier, worker `k` folds column `k` of that matrix into
+/// `merged[k]` with MergeAggGroup. After the second barrier each merged
+/// partition is owned read-only by its worker, which emits it. Partition
+/// count equals worker count, and a group key lands in exactly one partition,
+/// so groups are never split across emitters.
+class SharedAggregateState : public ParallelSharedState {
+ public:
+  using GroupMap = std::unordered_map<std::string, AggGroup>;
+
+  explicit SharedAggregateState(size_t num_workers)
+      : num_workers_(num_workers), barrier_(num_workers) {}
+
+  /// Clears partitions, merged maps, and the error slot. Called by the Gather
+  /// on the coordinating thread; no worker may be running.
+  void Reset() override {
+    partitions_.assign(num_workers_, std::vector<GroupMap>(num_workers_));
+    merged_.assign(num_workers_, GroupMap{});
+    failed_.store(false, std::memory_order_relaxed);
+    first_error_ = Status::OK();
+  }
+
+  size_t num_workers() const { return num_workers_; }
+  Barrier& barrier() { return barrier_; }
+
+  std::vector<GroupMap>& worker_partitions(size_t w) { return partitions_[w]; }
+  GroupMap& partition(size_t w, size_t p) { return partitions_[w][p]; }
+  GroupMap& merged(size_t p) { return merged_[p]; }
+
+  /// Records the first error any worker hits; later errors are dropped.
+  void RecordError(const Status& st) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!failed_.load(std::memory_order_relaxed)) {
+      first_error_ = st;
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// Only meaningful after a barrier following the RecordError calls.
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    return first_error_;
+  }
+
+ private:
+  const size_t num_workers_;
+  Barrier barrier_;
+  std::vector<std::vector<GroupMap>> partitions_;
+  std::vector<GroupMap> merged_;
+
+  std::atomic<bool> failed_{false};
+  mutable std::mutex error_mu_;
+  Status first_error_;
+};
+
+/// \brief One worker of a partitioned parallel hash aggregation.
+///
+/// Init is SPMD: every sibling must reach both barriers on every path
+/// (including error paths), so errors are parked in the shared state and
+/// re-raised after the second barrier. Exactly `num_workers` siblings must be
+/// running concurrently — the fragment builder and Gather guarantee this.
+///
+/// Under vectorized drive the accumulate phase pulls TupleBatches from the
+/// fragment and computes encoded group keys per batch (ComputeGroupKeys);
+/// emit is native batch too. A global aggregate routes every row to the empty
+/// key's partition, whose owner also emits the one default row when the input
+/// is empty (matching the serial executor).
+class ParallelAggregateWorker : public Executor {
+ public:
+  ParallelAggregateWorker(ExecContext* ctx, Schema out_schema, ExecutorPtr child,
+                          std::vector<const Expression*> group_exprs,
+                          std::vector<AggSpecExec> aggs,
+                          std::shared_ptr<SharedAggregateState> shared, size_t worker_idx);
+
+  Status InitImpl() override;
+  Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
+
+ private:
+  /// Drains this worker's fragment, accumulating each row into
+  /// `shared_->partition(worker_idx_, hash(encoded key) % P)`.
+  Status AccumulatePhase();
+  /// Folds partition column `worker_idx_` into `shared_->merged(worker_idx_)`.
+  Status MergePhase();
+
+  ExecutorPtr child_;
+  std::vector<const Expression*> group_exprs_;
+  std::vector<AggSpecExec> aggs_;
+  std::shared_ptr<SharedAggregateState> shared_;
+  size_t worker_idx_;
+
+  std::hash<std::string> hasher_;
+  /// This worker's merged partition; null until Init completes.
+  SharedAggregateState::GroupMap* merged_ = nullptr;
+  SharedAggregateState::GroupMap::const_iterator out_iter_;
+};
+
+}  // namespace relopt

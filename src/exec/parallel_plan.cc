@@ -5,6 +5,7 @@
 #include "exec/filter.h"
 #include "exec/gather.h"
 #include "exec/morsel_scan.h"
+#include "exec/parallel_aggregate.h"
 #include "exec/parallel_hash_join.h"
 #include "exec/project.h"
 
@@ -19,6 +20,8 @@ bool SubtreeParallelizable(const PhysicalNode& plan) {
       return SubtreeParallelizable(*plan.child(0));
     case PhysicalNodeKind::kHashJoin:
       return SubtreeParallelizable(*plan.child(0)) && SubtreeParallelizable(*plan.child(1));
+    case PhysicalNodeKind::kAggregate:
+      return SubtreeParallelizable(*plan.child(0));
     default:
       return false;
   }
@@ -33,6 +36,7 @@ namespace {
 struct FragmentBuildState {
   std::unordered_map<const PhysicalNode*, std::shared_ptr<MorselSource>> morsels;
   std::unordered_map<const PhysicalNode*, std::shared_ptr<SharedHashJoinState>> joins;
+  std::unordered_map<const PhysicalNode*, std::shared_ptr<SharedAggregateState>> aggregates;
   std::vector<std::shared_ptr<ParallelSharedState>> all;
 };
 
@@ -82,6 +86,27 @@ Result<ExecutorPtr> BuildFragment(ExecContext* ctx, const PhysicalNode* plan, si
       auto exec = std::make_unique<ParallelHashJoinWorker>(
           ctx, std::move(build), std::move(probe), node->build_keys(), node->probe_keys(),
           node->residual(), node->output_probe_first(), shared, worker_idx);
+      ctx->RegisterExecutor(plan, exec.get());
+      return ExecutorPtr(std::move(exec));
+    }
+    case PhysicalNodeKind::kAggregate: {
+      const auto* node = static_cast<const PhysAggregate*>(plan);
+      RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child,
+                              BuildFragment(ctx, node->child(0), worker_idx, state));
+      std::shared_ptr<SharedAggregateState>& shared = state->aggregates[plan];
+      if (shared == nullptr) {
+        shared = std::make_shared<SharedAggregateState>(ctx->parallelism());
+        state->all.push_back(shared);
+      }
+      std::vector<const Expression*> group_exprs;
+      for (const ExprPtr& g : node->group_by()) group_exprs.push_back(g.get());
+      std::vector<AggSpecExec> aggs;
+      for (const PhysAggregate::Agg& a : node->aggs()) {
+        aggs.push_back(AggSpecExec{a.func, a.arg.get()});
+      }
+      auto exec = std::make_unique<ParallelAggregateWorker>(
+          ctx, node->schema(), std::move(child), std::move(group_exprs), std::move(aggs), shared,
+          worker_idx);
       ctx->RegisterExecutor(plan, exec.get());
       return ExecutorPtr(std::move(exec));
     }

@@ -9,9 +9,10 @@ namespace relopt {
 
 /// \brief True if the subtree rooted at `plan` can run as a parallel
 /// fragment: SeqScan (morsel-driven), Filter/Project over a parallelizable
-/// child, and HashJoin with both children parallelizable. Everything else
-/// (index access, sorts, aggregates, NLJ variants, Values, Materialize)
-/// stays serial above the Gather.
+/// child, HashJoin with both children parallelizable, and Aggregate
+/// (partitioned hash aggregation, grouped or global) over a parallelizable
+/// child. Everything else (index access, sorts, NLJ variants, Values,
+/// Materialize) stays serial above the Gather.
 bool SubtreeParallelizable(const PhysicalNode& plan);
 
 /// \brief Builds a Gather over `ctx->parallelism()` worker fragments for a

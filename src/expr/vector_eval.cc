@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "types/key_codec.h"
+
 namespace relopt {
 
 namespace {
@@ -146,6 +148,34 @@ Status ProjectBatch(const std::vector<ExprPtr>& exprs, const TupleBatch& in, Tup
       }
       RELOPT_ASSIGN_OR_RETURN(Value v, exprs[i]->Eval(row));
       slot->Append(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+Status ComputeGroupKeys(const std::vector<const Expression*>& exprs, const TupleBatch& batch,
+                        std::vector<std::string>* keys) {
+  if (keys->size() < batch.NumSelected()) keys->resize(batch.NumSelected());
+  // Hoisted per-expression dispatch, same as ProjectBatch: a bare bound
+  // column encodes straight from storage, everything else Evals per row.
+  std::vector<int> direct_col(exprs.size(), -1);
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (exprs[i]->kind() == ExprKind::kColumnRef) {
+      const auto* col = static_cast<const ColumnRefExpr*>(exprs[i]);
+      if (col->IsBound()) direct_col[i] = col->bound_index();
+    }
+  }
+  for (size_t k = 0; k < batch.NumSelected(); ++k) {
+    const Tuple& row = batch.SelectedRow(k);
+    std::string& key = (*keys)[k];
+    key.clear();
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      if (direct_col[i] >= 0 && static_cast<size_t>(direct_col[i]) < row.NumValues()) {
+        EncodeKeyValue(row.At(static_cast<size_t>(direct_col[i])), &key);
+        continue;
+      }
+      RELOPT_ASSIGN_OR_RETURN(Value v, exprs[i]->Eval(row));
+      EncodeKeyValue(v, &key);
     }
   }
   return Status::OK();

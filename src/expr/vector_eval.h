@@ -33,4 +33,16 @@ Status FilterBatch(const std::vector<const Expression*>& conjuncts, TupleBatch* 
 /// capacity >= in.NumSelected().
 Status ProjectBatch(const std::vector<ExprPtr>& exprs, const TupleBatch& in, TupleBatch* out);
 
+/// \brief Computes the order-preserving encoded group key (see
+/// types/key_codec.h) of every selected row of `batch` into
+/// `keys[0..NumSelected())`. The multi-column kernel behind hash
+/// aggregation's batch ingest: bare bound column references encode straight
+/// from tuple storage (no virtual Eval, no Value copy); other expressions
+/// evaluate per row. Key strings are reused across calls (clear-and-append),
+/// so a steady-state ingest loop allocates nothing per batch.
+///
+/// Zero group expressions (global aggregate) yield empty keys.
+Status ComputeGroupKeys(const std::vector<const Expression*>& exprs, const TupleBatch& batch,
+                        std::vector<std::string>* keys);
+
 }  // namespace relopt

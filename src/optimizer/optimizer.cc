@@ -145,19 +145,10 @@ Result<Optimizer::Translated> Optimizer::Translate(LogicalPtr node,
           RELOPT_RETURN_NOT_OK(a.arg->Bind(child.plan->schema()));
         }
       }
-      // Group count estimate: product of group-column NDVs, capped by input.
+      // Group count from catalog stats (NDVs, histograms, NULL groups).
       SelectivityEstimator estimator(&aliases_, options_.stats_mode);
       double input_rows = std::max(child.plan->est_rows(), 1.0);
-      double groups = group_by.empty() ? 1.0 : 1.0;
-      for (const ExprPtr& g : group_by) {
-        if (g->kind() == ExprKind::kColumnRef) {
-          const auto* ref = static_cast<const ColumnRefExpr*>(g.get());
-          groups *= std::max(1.0, estimator.ColumnNdv(ref->table(), ref->name()));
-        } else {
-          groups *= 10.0;
-        }
-      }
-      groups = std::min(groups, input_rows);
+      double groups = estimator.EstimateGroupCount(group_by, input_rows);
       Cost cost = child.plan->est_cost() + cost_model_.Aggregate(input_rows, groups);
       auto phys = std::make_unique<PhysAggregate>(std::move(child.plan), std::move(group_by),
                                                   std::move(aggs), std::move(out_schema));

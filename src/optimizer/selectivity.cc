@@ -58,6 +58,37 @@ double SelectivityEstimator::ColumnNdv(const std::string& alias, const std::stri
   return 10.0;
 }
 
+double SelectivityEstimator::EstimateGroupCount(const std::vector<ExprPtr>& group_by,
+                                                double input_rows) const {
+  if (group_by.empty()) return 1.0;
+  input_rows = std::max(input_rows, 1.0);
+  double groups = 1.0;
+  for (const ExprPtr& g : group_by) {
+    double d = kDefaultExprNdv;
+    if (g->kind() == ExprKind::kColumnRef) {
+      const auto* ref = static_cast<const ColumnRefExpr*>(g.get());
+      const ColumnStats* stats = FindColumn(ref->table(), ref->name());
+      if (stats != nullptr && stats->ndv > 0) {
+        d = static_cast<double>(stats->ndv);
+        if (mode_ == StatsMode::kHistogram && !stats->histogram.Empty()) {
+          // Per-bucket distinct counts sum to the column's NDV at ANALYZE
+          // time; prefer them so the estimate tracks the histogram's view.
+          double hist_ndv = 0.0;
+          for (const EquiDepthHistogram::Bucket& b : stats->histogram.buckets()) {
+            hist_ndv += static_cast<double>(b.ndv);
+          }
+          if (hist_ndv > 0.0) d = hist_ndv;
+        }
+        if (stats->num_null > 0) d += 1.0;  // NULLs form one extra group
+      } else {
+        d = ColumnNdv(ref->table(), ref->name());
+      }
+    }
+    groups *= std::max(1.0, d);
+  }
+  return std::clamp(groups, 1.0, input_rows);
+}
+
 double SelectivityEstimator::EstimateEquiJoin(const std::string& left_alias,
                                               const std::string& left_col,
                                               const std::string& right_alias,

@@ -50,6 +50,16 @@ class SelectivityEstimator {
   /// Distinct values of a column (>=1); falls back to a tenth of the rows.
   double ColumnNdv(const std::string& alias, const std::string& column) const;
 
+  /// \brief Estimated GROUP BY output cardinality over `input_rows` rows.
+  ///
+  /// Per grouping column: catalog NDV (histogram bucket distinct counts when
+  /// in histogram mode), plus one extra group when the column has NULLs
+  /// (NULLs group together). Non-column grouping expressions use
+  /// kDefaultExprNdv. Multi-column keys multiply under the independence
+  /// assumption; the product is clamped to [1, input_rows]. No GROUP BY
+  /// (scalar aggregate) is exactly one group.
+  double EstimateGroupCount(const std::vector<ExprPtr>& group_by, double input_rows) const;
+
   /// Column stats lookup; nullptr if the table has no stats or no column.
   const ColumnStats* FindColumn(const std::string& alias, const std::string& column) const;
 
@@ -57,6 +67,8 @@ class SelectivityEstimator {
   static constexpr double kDefaultEq = 0.1;
   static constexpr double kDefaultRange = 1.0 / 3.0;
   static constexpr double kDefaultUnknown = 1.0 / 3.0;
+  /// Distinct values assumed for a non-column grouping expression.
+  static constexpr double kDefaultExprNdv = 10.0;
 
  private:
   double EstimateSargable(const SargablePred& pred) const;

@@ -117,5 +117,55 @@ TEST_F(AggregateTest, MixedIntDoubleSumPromotes) {
   EXPECT_DOUBLE_EQ(r.rows[0].At(0).AsDouble(), 3.5);
 }
 
+TEST_F(AggregateTest, IntegerSumNearMaxIsExact) {
+  Sql(&db_, "CREATE TABLE big (x INT)");
+  Sql(&db_, "INSERT INTO big VALUES (9223372036854775806), (1)");
+  QueryResult r = Sql(&db_, "SELECT sum(x) FROM big");
+  EXPECT_EQ(r.rows[0].At(0).AsInt(), INT64_MAX);
+}
+
+TEST_F(AggregateTest, IntegerSumOverflowErrorsInsteadOfWrapping) {
+  Sql(&db_, "CREATE TABLE big (x INT)");
+  Sql(&db_, "INSERT INTO big VALUES (9223372036854775807), (1)");
+  Result<QueryResult> r = db_.Execute("SELECT sum(x) FROM big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("overflow"), std::string::npos) << r.status().ToString();
+}
+
+TEST_F(AggregateTest, GroupedSumOverflowErrorsToo) {
+  Sql(&db_, "CREATE TABLE big (g INT, x INT)");
+  Sql(&db_, "INSERT INTO big VALUES (1, 9223372036854775807), (1, 1), (2, 5)");
+  Result<QueryResult> r = db_.Execute("SELECT g, sum(x) FROM big GROUP BY g");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("overflow"), std::string::npos) << r.status().ToString();
+}
+
+TEST_F(AggregateTest, SumOverflowErrorIsIdenticalUnderParallelism) {
+  Sql(&db_, "CREATE TABLE big (x INT)");
+  Sql(&db_, "INSERT INTO big VALUES (9223372036854775807), (1)");
+  Result<QueryResult> serial = db_.Execute("SELECT sum(x) FROM big");
+  db_.set_parallelism(4);
+  Result<QueryResult> parallel = db_.Execute("SELECT sum(x) FROM big");
+  db_.set_parallelism(1);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.status().ToString(), parallel.status().ToString());
+}
+
+TEST_F(AggregateTest, AvgWidensToDoubleOnOverflow) {
+  Sql(&db_, "CREATE TABLE big (x INT)");
+  Sql(&db_, "INSERT INTO big VALUES (9223372036854775807), (9223372036854775807)");
+  QueryResult r = Sql(&db_, "SELECT avg(x) FROM big");
+  EXPECT_NEAR(r.rows[0].At(0).AsDouble(), 9.223372036854776e18, 1e13);
+}
+
+TEST_F(AggregateTest, NegativeSumOverflowErrorsToo) {
+  Sql(&db_, "CREATE TABLE big (x INT)");
+  Sql(&db_, "INSERT INTO big VALUES (-9223372036854775807), (-2)");
+  Result<QueryResult> r = db_.Execute("SELECT sum(x) FROM big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("overflow"), std::string::npos) << r.status().ToString();
+}
+
 }  // namespace
 }  // namespace relopt

@@ -1,0 +1,107 @@
+// The shared differential query corpus, used by both differential harnesses
+// (serial-vs-parallel and row-vs-vectorized) so every query is exercised
+// across the full execution-mode matrix: parallelism x drive mode.
+#pragma once
+
+#include <string>
+
+#include "test_util.h"
+
+namespace relopt {
+namespace tu {
+
+/// Loads the fixture both differential suites run against:
+///   emp(id, name, dept_id, salary)  — 300 rows, 10 departments
+///   dept(id, dname)                 — 10 rows
+///   empty_t(x, y)                   — no rows
+///   nulls_t(a, b)                   — 90 rows, two thirds of `b` NULL
+/// with stats analyzed.
+inline void LoadDifferentialFixture(Database* db) {
+  LoadEmpDept(db, 300, 10);
+  Sql(db, "CREATE TABLE empty_t (x INT, y TEXT)");
+  // A NULL-heavy table: two thirds of `b` are NULL, for predicate,
+  // selection-vector, and NULL-group edge cases under three-valued logic.
+  Sql(db, "CREATE TABLE nulls_t (a INT, b INT)");
+  std::string insert = "INSERT INTO nulls_t VALUES ";
+  for (int i = 0; i < 90; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " +
+              (i % 3 == 0 ? std::to_string(i * 10) : std::string("NULL")) + ")";
+  }
+  Sql(db, insert);
+  Sql(db, "ANALYZE");
+}
+
+/// The e2e query corpus: scans, filters, projections, equi- and non-equi
+/// joins, multi-way joins, grouped and global aggregates (NULL groups, empty
+/// input, HAVING, expression keys), DISTINCT, ORDER BY, LIMIT, and degenerate
+/// inputs. Everything a user-facing SELECT can reach.
+const char* const kDifferentialQueries[] = {
+    "SELECT * FROM emp",
+    "SELECT id, salary FROM emp WHERE salary > 3000",
+    "SELECT id, salary * 2 + 1 FROM emp WHERE id < 50",
+    "SELECT id FROM emp WHERE salary < 1500 OR salary > 5500 OR id = 100",
+    "SELECT count(*) FROM emp WHERE id BETWEEN 10 AND 19",
+    "SELECT count(*) FROM emp WHERE dept_id IN (1, 3, 5)",
+    "SELECT emp.name, dept.dname FROM emp, dept "
+    "WHERE emp.dept_id = dept.id AND emp.salary > 3000",
+    "SELECT count(*), sum(emp.salary) FROM emp, dept "
+    "WHERE emp.dept_id = dept.id AND dept.id < 7",
+    "SELECT e.id FROM emp e, dept d, emp e2 "
+    "WHERE e.dept_id = d.id AND e2.dept_id = d.id AND e.id < 20 AND e2.id < 10",
+    "SELECT e.id, e2.id FROM emp e, emp e2 "
+    "WHERE e.id < 12 AND e2.id < 12 AND e.salary < e2.salary",
+    "SELECT dept_id, count(*), sum(salary), min(salary), max(salary) "
+    "FROM emp GROUP BY dept_id",
+    "SELECT salary FROM emp ORDER BY salary DESC LIMIT 50",
+    "SELECT dept_id, salary FROM emp ORDER BY dept_id ASC, salary DESC LIMIT 100",
+    "SELECT DISTINCT dept_id FROM emp",
+    "SELECT DISTINCT dname FROM emp, dept WHERE emp.dept_id = dept.id AND emp.salary > 3000",
+    "SELECT id FROM emp LIMIT 5",
+    "SELECT * FROM empty_t",
+    "SELECT count(*) FROM empty_t",
+    "SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept_id = d.id AND e.name = d.dname",
+    "SELECT dept_id, count(*) FROM emp WHERE salary > 2000 GROUP BY dept_id ORDER BY dept_id",
+    // --- aggregate-focused additions (parallel partitioned aggregation) ----
+    "SELECT dept_id, avg(salary) FROM emp GROUP BY dept_id",
+    "SELECT b, count(*), sum(a), avg(a) FROM nulls_t GROUP BY b",
+    "SELECT count(*), count(b), min(b), max(b), sum(b) FROM nulls_t",
+    "SELECT dept_id, name, count(*) FROM emp GROUP BY dept_id, name",
+    "SELECT dept_id FROM emp GROUP BY dept_id HAVING min(id) < 5",
+    "SELECT sum(x), avg(x), min(y), count(*) FROM empty_t",
+    "SELECT x, count(*) FROM empty_t GROUP BY x",
+    "SELECT dept_id % 3, count(*), sum(salary) FROM emp GROUP BY dept_id % 3",
+    "SELECT emp.dept_id, count(*), min(dept.dname) FROM emp, dept "
+    "WHERE emp.dept_id = dept.id GROUP BY emp.dept_id",
+};
+
+/// The GROUP BY / global aggregate subset, the target of the exact-profile
+/// matrix checks (no LIMIT, fully consumed plans).
+const char* const kAggregateQueries[] = {
+    "SELECT dept_id, count(*), sum(salary), min(salary), max(salary) "
+    "FROM emp GROUP BY dept_id",
+    "SELECT dept_id, avg(salary) FROM emp GROUP BY dept_id",
+    "SELECT b, count(*), sum(a), avg(a) FROM nulls_t GROUP BY b",
+    "SELECT count(*), count(b), min(b), max(b), sum(b) FROM nulls_t",
+    "SELECT dept_id, name, count(*) FROM emp GROUP BY dept_id, name",
+    "SELECT dept_id FROM emp GROUP BY dept_id HAVING min(id) < 5",
+    "SELECT sum(x), avg(x), min(y), count(*) FROM empty_t",
+    "SELECT x, count(*) FROM empty_t GROUP BY x",
+    "SELECT dept_id % 3, count(*), sum(salary) FROM emp GROUP BY dept_id % 3",
+    "SELECT emp.dept_id, count(*), min(dept.dname) FROM emp, dept "
+    "WHERE emp.dept_id = dept.id GROUP BY emp.dept_id",
+};
+
+/// Queries that must fail — and fail identically — in every execution mode.
+const char* const kDifferentialFailingQueries[] = {
+    "SELECT nope FROM emp",
+    "SELECT * FROM missing_table",
+    "SELECT id FROM emp ORDER BY",
+    "SELECT DISTINCT dept_id FROM emp ORDER BY salary",
+    "SELECT count(*) FROM (SELECT 1) sub",
+    "SELECT sum(nope) FROM emp",
+    "SELECT dept_id, count(*) FROM emp GROUP BY",
+};
+
+}  // namespace tu
+}  // namespace relopt

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "differential_queries.h"
 #include "exec/plan_profile.h"
 #include "test_util.h"
 
@@ -29,52 +30,15 @@ std::vector<std::string> ColumnNames(const Schema& s) {
   return names;
 }
 
-/// The e2e query corpus: scans, filters, projections, equi- and non-equi
-/// joins, multi-way joins, aggregates, DISTINCT, ORDER BY, LIMIT, and
-/// degenerate inputs. Everything a user-facing SELECT can reach.
-const char* const kQueries[] = {
-    "SELECT * FROM emp",
-    "SELECT id, salary FROM emp WHERE salary > 3000",
-    "SELECT id, salary * 2 + 1 FROM emp WHERE id < 50",
-    "SELECT id FROM emp WHERE salary < 1500 OR salary > 5500 OR id = 100",
-    "SELECT count(*) FROM emp WHERE id BETWEEN 10 AND 19",
-    "SELECT count(*) FROM emp WHERE dept_id IN (1, 3, 5)",
-    "SELECT emp.name, dept.dname FROM emp, dept "
-    "WHERE emp.dept_id = dept.id AND emp.salary > 3000",
-    "SELECT count(*), sum(emp.salary) FROM emp, dept "
-    "WHERE emp.dept_id = dept.id AND dept.id < 7",
-    "SELECT e.id FROM emp e, dept d, emp e2 "
-    "WHERE e.dept_id = d.id AND e2.dept_id = d.id AND e.id < 20 AND e2.id < 10",
-    "SELECT e.id, e2.id FROM emp e, emp e2 "
-    "WHERE e.id < 12 AND e2.id < 12 AND e.salary < e2.salary",
-    "SELECT dept_id, count(*), sum(salary), min(salary), max(salary) "
-    "FROM emp GROUP BY dept_id",
-    "SELECT salary FROM emp ORDER BY salary DESC LIMIT 50",
-    "SELECT dept_id, salary FROM emp ORDER BY dept_id ASC, salary DESC LIMIT 100",
-    "SELECT DISTINCT dept_id FROM emp",
-    "SELECT DISTINCT dname FROM emp, dept WHERE emp.dept_id = dept.id AND emp.salary > 3000",
-    "SELECT id FROM emp LIMIT 5",
-    "SELECT * FROM empty_t",
-    "SELECT count(*) FROM empty_t",
-    "SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept_id = d.id AND e.name = d.dname",
-    "SELECT dept_id, count(*) FROM emp WHERE salary > 2000 GROUP BY dept_id ORDER BY dept_id",
-};
-
-/// Queries that must fail — and fail identically — at every parallelism.
-const char* const kFailingQueries[] = {
-    "SELECT nope FROM emp",
-    "SELECT * FROM missing_table",
-    "SELECT id FROM emp ORDER BY",
-    "SELECT DISTINCT dept_id FROM emp ORDER BY salary",
-    "SELECT count(*) FROM (SELECT 1) sub",
-};
+// The corpus lives in differential_queries.h, shared with the row-vs-batch
+// suite so both harnesses cover the same queries.
+using tu::kAggregateQueries;
+using tu::kDifferentialFailingQueries;
+using tu::kDifferentialQueries;
 
 class ParallelDifferentialTest : public ::testing::Test {
  protected:
-  ParallelDifferentialTest() {
-    tu::LoadEmpDept(&db_, 300, 10);
-    Sql(&db_, "CREATE TABLE empty_t (x INT, y TEXT)");
-  }
+  ParallelDifferentialTest() { tu::LoadDifferentialFixture(&db_); }
 
   void CheckSerialVsParallel(const std::string& sql, size_t parallelism) {
     db_.set_parallelism(1);
@@ -90,11 +54,11 @@ class ParallelDifferentialTest : public ::testing::Test {
 };
 
 TEST_F(ParallelDifferentialTest, EveryQueryAgreesAtParallelism4) {
-  for (const char* q : kQueries) CheckSerialVsParallel(q, 4);
+  for (const char* q : kDifferentialQueries) CheckSerialVsParallel(q, 4);
 }
 
 TEST_F(ParallelDifferentialTest, EveryQueryAgreesAtParallelism2And8) {
-  for (const char* q : kQueries) {
+  for (const char* q : kDifferentialQueries) {
     CheckSerialVsParallel(q, 2);
     CheckSerialVsParallel(q, 8);
   }
@@ -113,7 +77,7 @@ TEST_F(ParallelDifferentialTest, OrderByStillSortedUnderParallelism) {
 }
 
 TEST_F(ParallelDifferentialTest, ErrorsAreIdenticalAcrossParallelism) {
-  for (const char* q : kFailingQueries) {
+  for (const char* q : kDifferentialFailingQueries) {
     db_.set_parallelism(1);
     Result<QueryResult> serial = db_.Execute(q);
     db_.set_parallelism(4);
@@ -198,6 +162,78 @@ TEST_F(ParallelDifferentialTest, ExplainAnalyzeIoExactUnderParallelism) {
   // exactly to the query totals at any parallelism.
   EXPECT_EQ(profile.TotalPageReads(), m.io.page_reads);
   EXPECT_EQ(profile.TotalPageWrites(), m.io.page_writes);
+}
+
+// The full execution-mode matrix over the aggregate corpus: parallelism
+// {1, 2, 4} x {row drive, batch 1024}. Every combination must produce the
+// same bag of rows as serial row mode, emit each group exactly once (equal
+// Aggregate-node rows_produced), and — on a cold cache — read exactly the
+// same pages with exact per-operator attribution.
+TEST_F(ParallelDifferentialTest, AggregateMatrixExactAcrossModes) {
+  const size_t kParallelisms[] = {1, 2, 4};
+  for (const char* q : kAggregateQueries) {
+    // Reference: serial row mode, cold cache. Plan first so catalog reads
+    // during planning don't pollute the execution I/O counts.
+    db_.set_parallelism(1);
+    db_.set_vectorized(false);
+    PhysicalPtr ref_plan;
+    {
+      Result<PhysicalPtr> p = db_.PlanQuery(q);
+      ASSERT_TRUE(p.ok()) << q << ": " << p.status().ToString();
+      ref_plan = p.MoveValue();
+    }
+    ASSERT_OK(db_.pool()->FlushAll());
+    ASSERT_OK(db_.pool()->EvictAll());
+    Result<QueryResult> ref = db_.ExecutePlan(*ref_plan);
+    ASSERT_TRUE(ref.ok()) << q << ": " << ref.status().ToString();
+    const uint64_t ref_reads = db_.last_metrics().io.page_reads;
+    uint64_t ref_agg_rows = 0;
+    {
+      const PlanProfile& profile = db_.last_profile();
+      ASSERT_TRUE(profile.valid) << q;
+      const OperatorProfile* agg = FindOp(profile.root, "Aggregate");
+      ASSERT_NE(agg, nullptr) << q;
+      ref_agg_rows = agg->stats.rows_produced;
+    }
+
+    for (size_t parallelism : kParallelisms) {
+      for (bool vectorized : {false, true}) {
+        const std::string mode = std::string(q) + " @ parallelism " +
+                                 std::to_string(parallelism) +
+                                 (vectorized ? ", batch 1024" : ", row mode");
+        db_.set_parallelism(parallelism);
+        db_.set_vectorized(vectorized);
+        if (vectorized) db_.set_batch_size(1024);
+        PhysicalPtr plan;
+        {
+          Result<PhysicalPtr> p = db_.PlanQuery(q);
+          ASSERT_TRUE(p.ok()) << mode << ": " << p.status().ToString();
+          plan = p.MoveValue();
+        }
+        ASSERT_OK(db_.pool()->FlushAll());
+        ASSERT_OK(db_.pool()->EvictAll());
+        Result<QueryResult> got = db_.ExecutePlan(*plan);
+        ASSERT_TRUE(got.ok()) << mode << ": " << got.status().ToString();
+        EXPECT_EQ(Canon(*ref), Canon(*got)) << mode;
+
+        const ExecutionMetrics& m = db_.last_metrics();
+        const PlanProfile& profile = db_.last_profile();
+        ASSERT_TRUE(profile.valid) << mode;
+        // Same pages are touched no matter how the plan is driven or sliced,
+        // and thread-local attribution sums exactly to the query totals.
+        EXPECT_EQ(m.io.page_reads, ref_reads) << mode;
+        EXPECT_EQ(profile.TotalPageReads(), m.io.page_reads) << mode;
+        EXPECT_EQ(profile.TotalPageWrites(), m.io.page_writes) << mode;
+        const OperatorProfile* agg = FindOp(profile.root, "Aggregate");
+        ASSERT_NE(agg, nullptr) << mode;
+        // Partitions are disjoint, so across all workers each group is
+        // emitted exactly once: merged rows_produced matches serial.
+        EXPECT_EQ(agg->stats.rows_produced, ref_agg_rows) << mode;
+      }
+    }
+    db_.set_parallelism(1);
+    db_.set_vectorized(false);
+  }
 }
 
 TEST_F(ParallelDifferentialTest, SetParallelismIsReversible) {

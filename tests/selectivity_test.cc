@@ -152,5 +152,60 @@ TEST_F(SelectivityTest, ConstantPredicates) {
   EXPECT_DOUBLE_EQ(Estimate("false", StatsMode::kSystemR), 0.0);
 }
 
+TEST_F(SelectivityTest, GroupCountUsesColumnNdv) {
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(std::make_unique<ColumnRefExpr>("t", "k"));
+  SelectivityEstimator est(&aliases_, StatsMode::kSystemR);
+  EXPECT_NEAR(est.EstimateGroupCount(group_by, 10000.0), 100.0, 5.0);  // k ndv ~100
+}
+
+TEST_F(SelectivityTest, GroupCountScalarAggregateIsOneGroup) {
+  SelectivityEstimator est(&aliases_, StatsMode::kHistogram);
+  EXPECT_DOUBLE_EQ(est.EstimateGroupCount({}, 10000.0), 1.0);
+}
+
+TEST_F(SelectivityTest, GroupCountMultiColumnProductCappedByInput) {
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(std::make_unique<ColumnRefExpr>("t", "id"));
+  group_by.push_back(std::make_unique<ColumnRefExpr>("t", "k"));
+  SelectivityEstimator est(&aliases_, StatsMode::kSystemR);
+  // id alone is unique per row; the independence product must clamp to input.
+  EXPECT_DOUBLE_EQ(est.EstimateGroupCount(group_by, 10000.0), 10000.0);
+}
+
+TEST_F(SelectivityTest, GroupCountAddsNullGroup) {
+  tu::Sql(&db_, "CREATE TABLE gn (a INT, b INT)");
+  tu::Sql(&db_, "INSERT INTO gn VALUES (1, 1), (2, 1), (3, NULL), (4, NULL)");
+  tu::Sql(&db_, "ANALYZE");
+  aliases_["gn"] = *db_.catalog()->GetTable("gn");
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(std::make_unique<ColumnRefExpr>("gn", "b"));
+  SelectivityEstimator est(&aliases_, StatsMode::kSystemR);
+  // One non-null distinct value plus the NULL group.
+  EXPECT_DOUBLE_EQ(est.EstimateGroupCount(group_by, 4.0), 2.0);
+}
+
+TEST_F(SelectivityTest, GroupCountNonColumnExprUsesDefault) {
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(std::make_unique<LiteralExpr>(Value::Int(7)));
+  SelectivityEstimator est(&aliases_, StatsMode::kSystemR);
+  EXPECT_DOUBLE_EQ(est.EstimateGroupCount(group_by, 10000.0),
+                   SelectivityEstimator::kDefaultExprNdv);
+}
+
+TEST_F(SelectivityTest, GroupCountHistogramModeUsesBucketNdvs) {
+  std::vector<ExprPtr> group_by;
+  group_by.push_back(std::make_unique<ColumnRefExpr>("t", "z"));
+  SelectivityEstimator hist(&aliases_, StatsMode::kHistogram);
+  SelectivityEstimator sysr(&aliases_, StatsMode::kSystemR);
+  // Bucket distinct counts sum to the column NDV, so both modes land near
+  // the true distinct count; histogram mode must stay a sane group count.
+  double h = hist.EstimateGroupCount(group_by, 10000.0);
+  double s = sysr.EstimateGroupCount(group_by, 10000.0);
+  EXPECT_GE(h, 1.0);
+  EXPECT_LE(h, 10000.0);
+  EXPECT_NEAR(h, s, s);  // within 2x of the NDV-based estimate
+}
+
 }  // namespace
 }  // namespace relopt

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "differential_queries.h"
 #include "exec/plan_profile.h"
 #include "test_util.h"
 
@@ -29,65 +30,16 @@ std::vector<std::string> ColumnNames(const Schema& s) {
   return names;
 }
 
-/// Same e2e corpus as the serial-vs-parallel differential suite: scans,
-/// filters, projections, equi- and non-equi joins, multi-way joins,
-/// aggregates, DISTINCT, ORDER BY, LIMIT, and degenerate inputs.
-const char* const kQueries[] = {
-    "SELECT * FROM emp",
-    "SELECT id, salary FROM emp WHERE salary > 3000",
-    "SELECT id, salary * 2 + 1 FROM emp WHERE id < 50",
-    "SELECT id FROM emp WHERE salary < 1500 OR salary > 5500 OR id = 100",
-    "SELECT count(*) FROM emp WHERE id BETWEEN 10 AND 19",
-    "SELECT count(*) FROM emp WHERE dept_id IN (1, 3, 5)",
-    "SELECT emp.name, dept.dname FROM emp, dept "
-    "WHERE emp.dept_id = dept.id AND emp.salary > 3000",
-    "SELECT count(*), sum(emp.salary) FROM emp, dept "
-    "WHERE emp.dept_id = dept.id AND dept.id < 7",
-    "SELECT e.id FROM emp e, dept d, emp e2 "
-    "WHERE e.dept_id = d.id AND e2.dept_id = d.id AND e.id < 20 AND e2.id < 10",
-    "SELECT e.id, e2.id FROM emp e, emp e2 "
-    "WHERE e.id < 12 AND e2.id < 12 AND e.salary < e2.salary",
-    "SELECT dept_id, count(*), sum(salary), min(salary), max(salary) "
-    "FROM emp GROUP BY dept_id",
-    "SELECT salary FROM emp ORDER BY salary DESC LIMIT 50",
-    "SELECT dept_id, salary FROM emp ORDER BY dept_id ASC, salary DESC LIMIT 100",
-    "SELECT DISTINCT dept_id FROM emp",
-    "SELECT DISTINCT dname FROM emp, dept WHERE emp.dept_id = dept.id AND emp.salary > 3000",
-    "SELECT id FROM emp LIMIT 5",
-    "SELECT * FROM empty_t",
-    "SELECT count(*) FROM empty_t",
-    "SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept_id = d.id AND e.name = d.dname",
-    "SELECT dept_id, count(*) FROM emp WHERE salary > 2000 GROUP BY dept_id ORDER BY dept_id",
-};
-
-/// Queries that must fail — and fail identically — in both drive modes.
-const char* const kFailingQueries[] = {
-    "SELECT nope FROM emp",
-    "SELECT * FROM missing_table",
-    "SELECT id FROM emp ORDER BY",
-    "SELECT DISTINCT dept_id FROM emp ORDER BY salary",
-    "SELECT count(*) FROM (SELECT 1) sub",
-};
+// The corpus lives in differential_queries.h, shared with the
+// serial-vs-parallel suite so both harnesses cover the same queries.
+using tu::kDifferentialFailingQueries;
+using tu::kDifferentialQueries;
 
 const size_t kBatchSizes[] = {1, 7, 1024};
 
 class VectorizedDifferentialTest : public ::testing::Test {
  protected:
-  VectorizedDifferentialTest() {
-    tu::LoadEmpDept(&db_, 300, 10);
-    Sql(&db_, "CREATE TABLE empty_t (x INT, y TEXT)");
-    // A NULL-heavy table: two thirds of `b` are NULL, for predicate and
-    // selection-vector edge cases under three-valued logic.
-    Sql(&db_, "CREATE TABLE nulls_t (a INT, b INT)");
-    std::string insert = "INSERT INTO nulls_t VALUES ";
-    for (int i = 0; i < 90; ++i) {
-      if (i > 0) insert += ", ";
-      insert += "(" + std::to_string(i) + ", " +
-                (i % 3 == 0 ? std::to_string(i * 10) : std::string("NULL")) + ")";
-    }
-    Sql(&db_, insert);
-    Sql(&db_, "ANALYZE");
-  }
+  VectorizedDifferentialTest() { tu::LoadDifferentialFixture(&db_); }
 
   QueryResult RunRowMode(const std::string& sql) {
     db_.set_vectorized(false);
@@ -113,13 +65,13 @@ class VectorizedDifferentialTest : public ::testing::Test {
 };
 
 TEST_F(VectorizedDifferentialTest, EveryQueryAgreesAtEveryBatchSize) {
-  for (const char* q : kQueries) {
+  for (const char* q : kDifferentialQueries) {
     for (size_t bs : kBatchSizes) CheckRowVsVectorized(q, bs);
   }
 }
 
 TEST_F(VectorizedDifferentialTest, ErrorsAreIdenticalAcrossModes) {
-  for (const char* q : kFailingQueries) {
+  for (const char* q : kDifferentialFailingQueries) {
     db_.set_vectorized(false);
     Result<QueryResult> row = db_.Execute(q);
     db_.set_vectorized(true);
@@ -145,7 +97,7 @@ TEST_F(VectorizedDifferentialTest, PerOperatorRowCountsMatchRowMode) {
   // LIMIT (a child fills a whole batch before the LIMIT truncates), so
   // per-operator row counts under LIMIT differ by design. Every fully
   // consumed plan must account identically.
-  for (const char* q : kQueries) {
+  for (const char* q : kDifferentialQueries) {
     if (std::string(q).find("LIMIT") != std::string::npos) continue;
     RunRowMode(q);
     ASSERT_TRUE(db_.last_profile().valid) << q;
@@ -172,6 +124,8 @@ TEST_F(VectorizedDifferentialTest, PageIoIdenticalColdCache) {
       "SELECT id, salary * 2 + 1 FROM emp WHERE id < 50",
       "SELECT count(*), sum(emp.salary) FROM emp, dept WHERE emp.dept_id = dept.id",
       "SELECT dept_id, count(*) FROM emp WHERE salary > 2000 GROUP BY dept_id ORDER BY dept_id",
+      "SELECT dept_id, avg(salary) FROM emp GROUP BY dept_id",
+      "SELECT b, count(*), sum(a), avg(a) FROM nulls_t GROUP BY b",
   };
   for (const char* q : io_queries) {
     PhysicalPtr plan;
@@ -212,7 +166,7 @@ TEST_F(VectorizedDifferentialTest, ComposesWithParallelism) {
   // Vectorized + morsel parallelism stacked: workers drive their fragments
   // through NextBatch and the Gather adopts whole batches. Reference is
   // serial row mode.
-  for (const char* q : kQueries) {
+  for (const char* q : kDifferentialQueries) {
     QueryResult reference = RunRowMode(q);
     for (size_t parallelism : {2u, 4u}) {
       db_.set_parallelism(parallelism);
