@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/str_util.h"
 
 namespace relopt {
@@ -66,6 +67,20 @@ void MaybeDumpProfile(const Measured& m, const std::string& label) {
   write_file(base + ".trace.json", m.profile.ToChromeTrace());
 }
 
+void MaybeDumpMetricsSnapshot() {
+  const char* dir = std::getenv("RELOPT_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = std::string(dir) + "/metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    RELOPT_LOG(kWarn) << "cannot write " << path;
+    return;
+  }
+  std::string body = MetricsRegistry::Global().ToJson();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
 Measured RunPlanMeasured(Database* db, const PhysicalNode& plan) {
   Measured m;
   m.est_total_cost = plan.est_cost().Total();
@@ -94,6 +109,7 @@ Measured RunPlanMeasured(Database* db, const PhysicalNode& plan) {
   // Numbered dump per process so repeated runs don't clobber each other.
   static int run_counter = 0;
   MaybeDumpProfile(m, StringPrintf("run%04d", run_counter++));
+  MaybeDumpMetricsSnapshot();
   return m;
 }
 

@@ -62,6 +62,12 @@ Measured RunPlanMeasured(Database* db, const PhysicalNode& plan);
 /// measured run. No-op when the variable is unset or the profile is empty.
 void MaybeDumpProfile(const Measured& m, const std::string& label);
 
+/// When RELOPT_BENCH_JSON_DIR is set, overwrites `<dir>/metrics.json` with
+/// the current global MetricsRegistry snapshot, so every benchmark leaves the
+/// engine-wide counters next to its per-run result files. Called after each
+/// measured run; the final write reflects the whole process.
+void MaybeDumpMetricsSnapshot();
+
 /// Plans only (no execution) and reports optimizer stats + elapsed time.
 struct PlannedOnly {
   double est_total_cost = 0;

@@ -29,11 +29,24 @@ echo "== bench_aggregate smoke (asan) =="
 # low/high cardinality + global, row/batch x parallelism 1/2/4) under ASAN.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_aggregate 2000
 
+echo "== metrics smoke (asan) =="
+# Corpus attribution check: the global MetricsRegistry page-I/O counters must
+# match the per-statement deltas and the summed EXPLAIN ANALYZE attribution
+# across the differential corpus, row/batch x parallelism 1/2/4/8.
+./build-asan/tests/relopt_tests \
+  --gtest_filter='*IntrospectionMatrixTest*:IntrospectionTest.*'
+
 echo "== tsan build (concurrency tests) =="
 cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate'
+  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate|Metrics|QueryHistory|Introspection|LoggingConcurrency'
+
+echo "== metrics smoke (tsan) =="
+# Same attribution check with instrumented atomics: counter updates come from
+# Gather worker threads, so the agreement also proves quiesce-before-capture.
+./build-tsan/tests/relopt_tests \
+  --gtest_filter='*IntrospectionMatrixTest*:*LoggingConcurrencyTest*'
 
 echo "== bench_vectorized smoke (tsan) =="
 # The par2 block drives whole batches through Gather worker threads; TSan

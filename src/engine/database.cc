@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "expr/fold.h"
+#include "util/metrics.h"
 #include "util/str_util.h"
+#include "util/timer.h"
 
 namespace relopt {
 
@@ -87,13 +89,16 @@ Result<LogicalPtr> Database::BindQuery(const std::string& select_sql) {
 
 Result<PhysicalPtr> Database::OptimizeLogical(LogicalPtr logical, OptimizeInfo* info,
                                               bool want_trace) {
+  const uint64_t start_nanos = MonotonicNanos();
   options_.optimizer.buffer_pages = pool_->capacity();
   if (trace_optimizer_ || want_trace) {
     last_trace_ = std::make_unique<PlanTrace>();
     info->trace = last_trace_.get();
   }
   Optimizer optimizer(catalog_.get(), options_.optimizer);
-  return optimizer.Optimize(std::move(logical), info);
+  Result<PhysicalPtr> plan = optimizer.Optimize(std::move(logical), info);
+  last_opt_nanos_ = MonotonicNanos() - start_nanos;
+  return plan;
 }
 
 Result<PhysicalPtr> Database::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
@@ -107,34 +112,47 @@ Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
   metrics_ = ExecutionMetrics{};
   IoStats io_before = disk_->stats();
   BufferPoolStats pool_before = pool_->stats();
+  const uint64_t exec_start_nanos = MonotonicNanos();
 
   ExecContext ctx(catalog_.get(), pool_.get(), thread_pool_.get(), parallelism_,
                   options_.vectorized ? options_.batch_size : 0);
-  RELOPT_ASSIGN_OR_RETURN(ExecutorPtr root, BuildExecutor(&ctx, &plan));
-  RELOPT_RETURN_NOT_OK(root->Init());
+  ctx.set_introspection(&MetricsRegistry::Global(), &history_);
   QueryResult result;
   result.schema = plan.schema();
-  if (ctx.batch_size() > 0) {
-    // Vectorized drive: pull batches through the root; a false return can
-    // still carry the stream's final rows.
-    TupleBatch batch(ctx.batch_size());
-    while (true) {
-      RELOPT_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
-      for (uint32_t i : batch.selection()) {
-        result.rows.push_back(std::move(*batch.MutableRowAt(i)));
+  uint64_t batches = 0;
+  ExecutorPtr root;  // must outlive Quiesce() and BuildPlanProfile below
+  // Drive the plan to completion. Runs as a lambda so the error path falls
+  // through to the same counter/profile capture as success: a statement that
+  // fails mid-execution reports exactly the work it did, exactly once.
+  auto drive = [&]() -> Status {
+    RELOPT_ASSIGN_OR_RETURN(root, BuildExecutor(&ctx, &plan));
+    RELOPT_RETURN_NOT_OK(root->Init());
+    if (ctx.batch_size() > 0) {
+      // Vectorized drive: pull batches through the root; a false return can
+      // still carry the stream's final rows.
+      TupleBatch batch(ctx.batch_size());
+      while (true) {
+        RELOPT_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
+        ++batches;
+        for (uint32_t i : batch.selection()) {
+          result.rows.push_back(std::move(*batch.MutableRowAt(i)));
+        }
+        if (!has) break;
       }
-      if (!has) break;
+    } else {
+      Tuple t;
+      while (true) {
+        RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
+        if (!has) break;
+        result.rows.push_back(std::move(t));
+      }
     }
-  } else {
-    Tuple t;
-    while (true) {
-      RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
-      if (!has) break;
-      result.rows.push_back(std::move(t));
-    }
-  }
+    return Status::OK();
+  };
+  Status status = drive();
   // Stop any still-running parallel workers (a LIMIT can abandon a Gather
-  // mid-stream) before snapshotting counters and per-operator stats.
+  // mid-stream, and an error can leave them producing) before snapshotting
+  // counters and per-operator stats.
   ctx.Quiesce();
 
   IoStats io_after = disk_->stats();
@@ -150,7 +168,15 @@ Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
   metrics_.est_rows = plan.est_rows();
   metrics_.est_cost = plan.est_cost();
   metrics_.actual_rows = result.rows.size();
+  metrics_.exec_nanos = MonotonicNanos() - exec_start_nanos;
+  metrics_.executed_plan = true;
   profile_ = BuildPlanProfile(plan, ctx);
+
+  const EngineMetrics& em = EngineMetrics::Get();
+  em.exec_rows_produced->Add(result.rows.size());
+  em.exec_batches_produced->Add(batches);
+
+  RELOPT_RETURN_NOT_OK(status);
   return result;
 }
 
@@ -163,6 +189,7 @@ Result<QueryResult> Database::RunSelect(SelectStmt* stmt) {
   RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
   metrics_.enum_stats = info.enum_stats;
   metrics_.order_from_plan = info.order_from_plan;
+  metrics_.opt_nanos = last_opt_nanos_;
   return result;
 }
 
@@ -175,6 +202,7 @@ Result<std::string> Database::RunExplain(ExplainStmt* stmt) {
   std::string out;
   if (stmt->analyze) {
     RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
+    metrics_.opt_nanos = last_opt_nanos_;
     // The profile replaces the plain plan text: same tree, annotated with
     // actuals per operator.
     out = profile_.valid ? profile_.ToText() : plan->ToString();
@@ -321,6 +349,7 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
   // Each statement reports only its own deltas. SELECT/EXPLAIN re-zero and
   // capture inside ExecutePlan; DML/DDL capture here via `capture`.
   metrics_ = ExecutionMetrics{};
+  last_opt_nanos_ = 0;  // only SELECT/EXPLAIN set it; others must not inherit
   IoStats io_before = disk_->stats();
   BufferPoolStats pool_before = pool_->stats();
   auto capture = [&]() {
@@ -334,6 +363,14 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
     metrics_.pool.evictions = pool_after.evictions - pool_before.evictions;
     metrics_.pool.dirty_writebacks = pool_after.dirty_writebacks - pool_before.dirty_writebacks;
   };
+  // DML/DDL run through `finish` so counters are captured exactly once on
+  // both the success and the error path (a failed UPDATE still reports the
+  // pages it scanned, and never leaks them into the next statement).
+  auto finish = [&](Status s) -> Result<QueryResult> {
+    capture();
+    RELOPT_RETURN_NOT_OK(s);
+    return QueryResult{};
+  };
   switch (stmt->kind) {
     case StatementKind::kCreateTable: {
       auto* create = static_cast<CreateTableStmt*>(stmt);
@@ -341,46 +378,33 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
       for (const ColumnDef& def : create->columns) {
         schema.AddColumn(Column(def.name, def.type, create->table_name));
       }
-      RELOPT_ASSIGN_OR_RETURN(TableInfo * table,
-                              catalog_->CreateTable(create->table_name, std::move(schema)));
-      (void)table;
-      capture();
-      return QueryResult{};
+      return finish(catalog_->CreateTable(create->table_name, std::move(schema)).status());
     }
     case StatementKind::kCreateIndex: {
       auto* create = static_cast<CreateIndexStmt*>(stmt);
-      RELOPT_ASSIGN_OR_RETURN(IndexInfo * index,
-                              catalog_->CreateIndex(create->index_name, create->table_name,
-                                                    create->columns, create->clustered));
-      (void)index;
-      capture();
-      return QueryResult{};
+      return finish(catalog_->CreateIndex(create->index_name, create->table_name,
+                                          create->columns, create->clustered)
+                        .status());
     }
     case StatementKind::kInsert:
-      RELOPT_RETURN_NOT_OK(RunInsert(static_cast<InsertStmt*>(stmt)));
-      capture();
-      return QueryResult{};
+      return finish(RunInsert(static_cast<InsertStmt*>(stmt)));
     case StatementKind::kAnalyze: {
       auto* analyze = static_cast<AnalyzeStmt*>(stmt);
-      if (!analyze->table_name.empty()) {
-        RELOPT_RETURN_NOT_OK(catalog_->AnalyzeTable(analyze->table_name,
-                                                    options_.analyze_buckets));
-      } else {
+      auto run = [&]() -> Status {
+        if (!analyze->table_name.empty()) {
+          return catalog_->AnalyzeTable(analyze->table_name, options_.analyze_buckets);
+        }
         for (const std::string& name : catalog_->TableNames()) {
           RELOPT_RETURN_NOT_OK(catalog_->AnalyzeTable(name, options_.analyze_buckets));
         }
-      }
-      capture();
-      return QueryResult{};
+        return Status::OK();
+      };
+      return finish(run());
     }
     case StatementKind::kDelete:
-      RELOPT_RETURN_NOT_OK(RunDelete(static_cast<DeleteStmt*>(stmt)));
-      capture();
-      return QueryResult{};
+      return finish(RunDelete(static_cast<DeleteStmt*>(stmt)));
     case StatementKind::kUpdate:
-      RELOPT_RETURN_NOT_OK(RunUpdate(static_cast<UpdateStmt*>(stmt)));
-      capture();
-      return QueryResult{};
+      return finish(RunUpdate(static_cast<UpdateStmt*>(stmt)));
     case StatementKind::kSelect: {
       *produced_rows = true;
       return RunSelect(static_cast<SelectStmt*>(stmt));
@@ -400,13 +424,88 @@ Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows)
   return Status::Internal("unknown statement kind");
 }
 
+namespace {
+
+const char* StatementVerb(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kCreateTable: return "create_table";
+    case StatementKind::kCreateIndex: return "create_index";
+    case StatementKind::kInsert: return "insert";
+    case StatementKind::kSelect: return "select";
+    case StatementKind::kExplain: return "explain";
+    case StatementKind::kAnalyze: return "analyze";
+    case StatementKind::kDelete: return "delete";
+    case StatementKind::kUpdate: return "update";
+  }
+  return "unknown";
+}
+
+void FlattenOperators(const OperatorProfile& node, std::vector<OperatorRecord>* out) {
+  OperatorRecord rec;
+  rec.op = node.op;
+  rec.describe = node.describe;
+  rec.est_rows = node.est_rows;
+  rec.actual_rows = node.stats.rows_produced;
+  rec.q_error = node.q_error();
+  rec.page_reads = node.stats.page_reads;
+  rec.page_writes = node.stats.page_writes;
+  rec.wall_nanos = node.stats.wall_nanos;
+  rec.batches = node.stats.batches_produced;
+  out->push_back(std::move(rec));
+  for (const OperatorProfile& child : node.children) FlattenOperators(child, out);
+}
+
+}  // namespace
+
+void Database::RecordStatement(const Statement& stmt, const Status& status,
+                               uint64_t rows_returned, uint64_t wall_nanos) {
+  const char* verb = StatementVerb(stmt.kind);
+  const EngineMetrics& em = EngineMetrics::Get();
+  em.engine_statement_us->Observe(static_cast<double>(wall_nanos) / 1000.0);
+  MetricsRegistry::Global().counter(std::string("relopt.engine.statements.") + verb)->Add(1);
+  if (status.ok()) {
+    em.engine_statement_rows->Observe(static_cast<double>(rows_returned));
+  } else {
+    em.exec_statements_failed->Add(1);
+    MetricsRegistry::Global()
+        .counter("relopt.engine.errors." + ToLower(StatusCodeToString(status.code())))
+        ->Add(1);
+  }
+
+  QueryRecord rec;
+  rec.verb = verb;
+  rec.status = status.ok() ? "OK" : StatusCodeToString(status.code());
+  rec.error = status.ok() ? "" : status.message();
+  rec.sql = NormalizeSql(stmt.text);
+  rec.wall_micros = wall_nanos / 1000;
+  rec.opt_micros = last_opt_nanos_ / 1000;
+  rec.exec_micros = metrics_.exec_nanos / 1000;
+  rec.rows_returned = rows_returned;
+  rec.tuples_processed = metrics_.tuples_processed;
+  rec.page_reads = metrics_.io.page_reads;
+  rec.page_writes = metrics_.io.page_writes;
+  rec.pool_hits = metrics_.pool.hits;
+  rec.pool_misses = metrics_.pool.misses;
+  rec.parallelism = parallelism_;
+  rec.batch_size = options_.vectorized ? options_.batch_size : 0;
+  rec.vectorized = options_.vectorized;
+  if (metrics_.executed_plan && profile_.valid) {
+    FlattenOperators(profile_.root, &rec.operators);
+  }
+  history_.Append(std::move(rec));
+}
+
 Result<QueryResult> Database::Execute(const std::string& sql) {
   RELOPT_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
   QueryResult last;
   for (StatementPtr& stmt : stmts) {
     bool produced = false;
-    RELOPT_ASSIGN_OR_RETURN(QueryResult result, RunStatement(stmt.get(), &produced));
-    if (produced) last = std::move(result);
+    const uint64_t start_nanos = MonotonicNanos();
+    Result<QueryResult> result = RunStatement(stmt.get(), &produced);
+    const uint64_t wall_nanos = MonotonicNanos() - start_nanos;
+    RecordStatement(*stmt, result.status(), result.ok() ? result->rows.size() : 0, wall_nanos);
+    RELOPT_RETURN_NOT_OK(result.status());
+    if (produced) last = result.MoveValue();
   }
   return last;
 }

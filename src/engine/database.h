@@ -6,6 +6,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "engine/query_history.h"
 #include "exec/executor_factory.h"
 #include "exec/plan_profile.h"
 #include "expr/binder.h"
@@ -41,7 +42,9 @@ struct QueryResult {
   std::string ToString() const;
 };
 
-/// Counters captured around one statement's execution.
+/// Counters captured around one statement's execution. Captured exactly once
+/// per statement, on the success AND error paths, so a statement that fails
+/// mid-execution still reports (only) the work it actually did.
 struct ExecutionMetrics {
   IoStats io;                 ///< page reads/writes during execution
   BufferPoolStats pool;       ///< hits/misses during execution
@@ -51,6 +54,9 @@ struct ExecutionMetrics {
   uint64_t actual_rows = 0;
   JoinEnumStats enum_stats;
   bool order_from_plan = false;
+  uint64_t opt_nanos = 0;     ///< bind + optimize time (SELECT/EXPLAIN)
+  uint64_t exec_nanos = 0;    ///< executor build + drive time
+  bool executed_plan = false; ///< true if this statement drove an executor tree
 };
 
 /// \brief An embedded relational engine with a cost-based optimizer. Queries
@@ -92,6 +98,12 @@ class Database {
   /// Counters from the most recent Execute/ExecutePlan.
   const ExecutionMetrics& last_metrics() const { return metrics_; }
 
+  /// Per-statement history of this session's Execute() calls (a bounded ring;
+  /// also exposed through SELECT * FROM relopt_query_log()). Configure the
+  /// slow-query log threshold via history()->set_slow_query_micros(us).
+  QueryHistoryStore* history() { return &history_; }
+  const QueryHistoryStore* history() const { return &history_; }
+
   /// Per-operator stats of the most recent ExecutePlan (valid=false before
   /// the first execution). Renders as EXPLAIN ANALYZE text, JSON, or a
   /// chrome://tracing event array.
@@ -128,6 +140,10 @@ class Database {
   Result<PhysicalPtr> OptimizeLogical(LogicalPtr logical, OptimizeInfo* info, bool want_trace);
 
   Result<QueryResult> RunStatement(Statement* stmt, bool* produced_rows);
+  /// Appends one QueryRecord for a completed (possibly failed) statement and
+  /// bumps the per-verb / per-error-code engine metrics.
+  void RecordStatement(const Statement& stmt, const Status& status, uint64_t rows_returned,
+                       uint64_t wall_nanos);
   Result<QueryResult> RunSelect(SelectStmt* stmt);
   Result<std::string> RunExplain(ExplainStmt* stmt);
   Status RunInsert(InsertStmt* stmt);
@@ -141,6 +157,8 @@ class Database {
   std::unique_ptr<ThreadPool> thread_pool_;
   size_t parallelism_ = 1;
   ExecutionMetrics metrics_;
+  QueryHistoryStore history_;
+  uint64_t last_opt_nanos_ = 0;  ///< most recent OptimizeLogical duration
   PlanProfile profile_;
   std::unique_ptr<PlanTrace> last_trace_;
   bool trace_optimizer_ = false;

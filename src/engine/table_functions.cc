@@ -1,0 +1,145 @@
+#include "engine/table_functions.h"
+
+#include "engine/query_history.h"
+#include "util/metrics.h"
+#include "util/str_util.h"
+
+namespace relopt {
+
+namespace {
+
+constexpr const char* kMetricsFn = "relopt_metrics";
+constexpr const char* kQueryLogFn = "relopt_query_log";
+constexpr const char* kOperatorStatsFn = "relopt_operator_stats";
+
+Schema MetricsSchema() {
+  Schema s;
+  s.AddColumn(Column("name", TypeId::kString));
+  s.AddColumn(Column("kind", TypeId::kString));
+  s.AddColumn(Column("value", TypeId::kDouble));
+  s.AddColumn(Column("count", TypeId::kInt64));
+  s.AddColumn(Column("p50", TypeId::kDouble));
+  s.AddColumn(Column("p95", TypeId::kDouble));
+  s.AddColumn(Column("p99", TypeId::kDouble));
+  return s;
+}
+
+Schema QueryLogSchema() {
+  Schema s;
+  s.AddColumn(Column("id", TypeId::kInt64));
+  s.AddColumn(Column("verb", TypeId::kString));
+  s.AddColumn(Column("status", TypeId::kString));
+  s.AddColumn(Column("error", TypeId::kString));
+  s.AddColumn(Column("sql", TypeId::kString));
+  s.AddColumn(Column("wall_us", TypeId::kInt64));
+  s.AddColumn(Column("opt_us", TypeId::kInt64));
+  s.AddColumn(Column("exec_us", TypeId::kInt64));
+  s.AddColumn(Column("rows", TypeId::kInt64));
+  s.AddColumn(Column("tuples", TypeId::kInt64));
+  s.AddColumn(Column("page_reads", TypeId::kInt64));
+  s.AddColumn(Column("page_writes", TypeId::kInt64));
+  s.AddColumn(Column("pool_hits", TypeId::kInt64));
+  s.AddColumn(Column("pool_misses", TypeId::kInt64));
+  s.AddColumn(Column("parallelism", TypeId::kInt64));
+  s.AddColumn(Column("batch_size", TypeId::kInt64));
+  s.AddColumn(Column("vectorized", TypeId::kBool));
+  return s;
+}
+
+Schema OperatorStatsSchema() {
+  Schema s;
+  s.AddColumn(Column("query_id", TypeId::kInt64));
+  s.AddColumn(Column("op", TypeId::kString));
+  s.AddColumn(Column("detail", TypeId::kString));
+  s.AddColumn(Column("est_rows", TypeId::kDouble));
+  s.AddColumn(Column("actual_rows", TypeId::kInt64));
+  s.AddColumn(Column("q_error", TypeId::kDouble));
+  s.AddColumn(Column("page_reads", TypeId::kInt64));
+  s.AddColumn(Column("page_writes", TypeId::kInt64));
+  s.AddColumn(Column("wall_us", TypeId::kInt64));
+  s.AddColumn(Column("batches", TypeId::kInt64));
+  return s;
+}
+
+int64_t ToI64(uint64_t v) { return static_cast<int64_t>(v); }
+
+std::vector<Tuple> MetricsRows(const MetricsRegistry& registry) {
+  std::vector<Tuple> rows;
+  for (const MetricSample& s : registry.Snapshot()) {
+    rows.push_back(Tuple({Value::String(s.name), Value::String(s.kind), Value::Double(s.value),
+                          Value::Int(ToI64(s.count)), Value::Double(s.p50), Value::Double(s.p95),
+                          Value::Double(s.p99)}));
+  }
+  return rows;
+}
+
+std::vector<Tuple> QueryLogRows(const QueryHistoryStore* history) {
+  std::vector<Tuple> rows;
+  if (history == nullptr) return rows;
+  for (const QueryRecord& r : history->Snapshot()) {
+    rows.push_back(Tuple({Value::Int(ToI64(r.id)), Value::String(r.verb), Value::String(r.status),
+                          Value::String(r.error), Value::String(r.sql),
+                          Value::Int(ToI64(r.wall_micros)), Value::Int(ToI64(r.opt_micros)),
+                          Value::Int(ToI64(r.exec_micros)), Value::Int(ToI64(r.rows_returned)),
+                          Value::Int(ToI64(r.tuples_processed)), Value::Int(ToI64(r.page_reads)),
+                          Value::Int(ToI64(r.page_writes)), Value::Int(ToI64(r.pool_hits)),
+                          Value::Int(ToI64(r.pool_misses)),
+                          Value::Int(static_cast<int64_t>(r.parallelism)),
+                          Value::Int(static_cast<int64_t>(r.batch_size)),
+                          Value::Bool(r.vectorized)}));
+  }
+  return rows;
+}
+
+std::vector<Tuple> OperatorStatsRows(const QueryHistoryStore* history) {
+  std::vector<Tuple> rows;
+  if (history == nullptr) return rows;
+  for (const QueryRecord& r : history->Snapshot()) {
+    for (const OperatorRecord& op : r.operators) {
+      rows.push_back(Tuple({Value::Int(ToI64(r.id)), Value::String(op.op),
+                            Value::String(op.describe), Value::Double(op.est_rows),
+                            Value::Int(ToI64(op.actual_rows)), Value::Double(op.q_error),
+                            Value::Int(ToI64(op.page_reads)), Value::Int(ToI64(op.page_writes)),
+                            Value::Int(ToI64(op.wall_nanos / 1000)),
+                            Value::Int(ToI64(op.batches))}));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+bool IsTableFunction(const std::string& name) {
+  std::string lower = ToLower(name);
+  return lower == kMetricsFn || lower == kQueryLogFn || lower == kOperatorStatsFn;
+}
+
+Result<Schema> TableFunctionSchema(const std::string& name, const std::string& alias) {
+  std::string lower = ToLower(name);
+  Schema s;
+  if (lower == kMetricsFn) {
+    s = MetricsSchema();
+  } else if (lower == kQueryLogFn) {
+    s = QueryLogSchema();
+  } else if (lower == kOperatorStatsFn) {
+    s = OperatorStatsSchema();
+  } else {
+    return Status::NotFound("unknown table function '" + name + "'");
+  }
+  return s.WithQualifier(alias);
+}
+
+Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
+                                             const MetricsRegistry* metrics,
+                                             const QueryHistoryStore* history) {
+  std::string lower = ToLower(name);
+  if (lower == kMetricsFn) {
+    if (metrics == nullptr) return Status::Internal("no metrics registry in execution context");
+    return MetricsRows(*metrics);
+  }
+  if (lower == kQueryLogFn) return QueryLogRows(history);
+  if (lower == kOperatorStatsFn) return OperatorStatsRows(history);
+  return Status::NotFound("unknown table function '" + name + "'");
+}
+
+}  // namespace relopt

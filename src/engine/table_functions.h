@@ -1,0 +1,43 @@
+// Introspection table functions: the engine observing itself through SQL.
+//
+//   SELECT * FROM relopt_metrics()         -- global MetricsRegistry snapshot
+//   SELECT * FROM relopt_query_log()       -- retained QueryHistoryStore rows
+//   SELECT * FROM relopt_operator_stats()  -- per-operator est-vs-actual rows
+//
+// A table function is a leaf scan over snapshot data: the binder resolves
+// the name to a fixed schema, the optimizer lowers it to a
+// PhysTableFunctionScan, and the executor materializes the snapshot at
+// Init() — so one statement sees one consistent snapshot, and a statement
+// never sees itself in the query log (records append after completion).
+// Table functions cannot be joined with other FROM items (they are
+// snapshot-sized leaves, not stored relations); filters, projections,
+// aggregates, ORDER BY, and LIMIT above them all work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "util/result.h"
+
+namespace relopt {
+
+class MetricsRegistry;
+class QueryHistoryStore;
+
+/// True if `name` (case-insensitive) is a known introspection table function.
+bool IsTableFunction(const std::string& name);
+
+/// The function's output schema, qualified with `alias` (so `m.name` works
+/// under FROM relopt_metrics() AS m). NotFound for unknown names.
+Result<Schema> TableFunctionSchema(const std::string& name, const std::string& alias);
+
+/// Materializes the function's rows from the current snapshots. `metrics`
+/// must be non-null for relopt_metrics(); `history` may be null (query-log
+/// functions then return no rows).
+Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
+                                             const MetricsRegistry* metrics,
+                                             const QueryHistoryStore* history);
+
+}  // namespace relopt

@@ -20,7 +20,9 @@
 namespace relopt {
 
 class Executor;
+class MetricsRegistry;
 class PhysicalNode;
+class QueryHistoryStore;
 class ThreadPool;
 
 /// \brief Per-operator runtime counters, maintained by the Executor base
@@ -98,6 +100,18 @@ class ExecContext {
   /// Total tuples passed through operators (the "RSI calls" actual).
   std::atomic<uint64_t> tuples_processed{0};
 
+  // --- engine introspection (relopt_* table functions) ----------------------
+
+  /// Installs the snapshot sources the introspection table functions read.
+  /// Null pointers are allowed (the functions then error or return no rows);
+  /// the Database facade wires both before building executors.
+  void set_introspection(const MetricsRegistry* metrics, const QueryHistoryStore* history) {
+    metrics_registry_ = metrics;
+    query_history_ = history;
+  }
+  const MetricsRegistry* metrics_registry() const { return metrics_registry_; }
+  const QueryHistoryStore* query_history() const { return query_history_; }
+
   // --- per-operator I/O attribution ---------------------------------------
 
   /// Flushes the calling thread's I/O-counter delta since the last switch
@@ -153,6 +167,8 @@ class ExecContext {
   std::unordered_map<const PhysicalNode*, std::vector<const Executor*>> executors_;
   std::vector<std::function<void()>> quiesce_hooks_;
   uint64_t epoch_nanos_ = 0;
+  const MetricsRegistry* metrics_registry_ = nullptr;
+  const QueryHistoryStore* query_history_ = nullptr;
 };
 
 /// RAII attribution frame: the enclosed I/O is charged to `stats`; nested

@@ -14,6 +14,7 @@
 #include "exec/parallel_plan.h"
 #include "exec/seq_scan.h"
 #include "exec/sort_merge_join.h"
+#include "exec/table_function_scan.h"
 #include "exec/values_exec.h"
 #include "types/key_codec.h"
 
@@ -161,6 +162,11 @@ Result<ExecutorPtr> BuildExecutor(ExecContext* ctx, const PhysicalNode* plan,
       const auto* node = static_cast<const PhysMaterialize*>(plan);
       RELOPT_ASSIGN_OR_RETURN(ExecutorPtr child, BuildExecutor(ctx, node->child(0), allow_parallel));
       return Register(ctx, plan, std::make_unique<MaterializeExecutor>(ctx, std::move(child)));
+    }
+    case PhysicalNodeKind::kTableFunctionScan: {
+      const auto* node = static_cast<const PhysTableFunctionScan*>(plan);
+      return Register(ctx, plan, std::make_unique<TableFunctionScanExecutor>(
+          ctx, node->schema(), node->function_name()));
     }
   }
   return Status::Internal("unknown physical node kind");

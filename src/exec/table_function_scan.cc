@@ -1,0 +1,22 @@
+#include "exec/table_function_scan.h"
+
+#include "engine/table_functions.h"
+
+namespace relopt {
+
+Status TableFunctionScanExecutor::InitImpl() {
+  RELOPT_ASSIGN_OR_RETURN(
+      rows_, EvalTableFunction(function_name_, ctx_->metrics_registry(), ctx_->query_history()));
+  pos_ = 0;
+  ResetCounters();
+  return Status::OK();
+}
+
+Result<bool> TableFunctionScanExecutor::NextImpl(Tuple* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  CountRow();
+  return true;
+}
+
+}  // namespace relopt

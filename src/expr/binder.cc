@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "engine/table_functions.h"
 #include "expr/fold.h"
 #include "util/str_util.h"
 
@@ -113,6 +114,22 @@ Result<LogicalPtr> Binder::BindSelect(SelectStmt* stmt) {
   LogicalPtr plan;
   std::set<std::string> seen_aliases;
   for (const TableRef& ref : stmt->from) {
+    if (ref.is_function) {
+      // Introspection table functions are snapshot-sized leaves; they cannot
+      // participate in joins (the enumerator only handles base tables).
+      if (stmt->from.size() > 1) {
+        return Status::BindError("table function '" + ref.table_name +
+                                 "()' must be the only FROM item");
+      }
+      if (!IsTableFunction(ref.table_name)) {
+        return Status::BindError("unknown table function '" + ref.table_name + "()'");
+      }
+      std::string alias = ref.EffectiveName();
+      RELOPT_ASSIGN_OR_RETURN(Schema schema, TableFunctionSchema(ref.table_name, alias));
+      plan = std::make_unique<LogicalTableFunction>(ToLower(ref.table_name), alias,
+                                                    std::move(schema));
+      continue;
+    }
     RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(ref.table_name));
     std::string alias = ref.EffectiveName();
     std::string alias_lower = ToLower(alias);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/metrics.h"
 #include "util/str_util.h"
+#include "util/timer.h"
 
 namespace relopt {
 
@@ -24,6 +26,18 @@ Result<PhysicalPtr> Optimizer::Optimize(LogicalPtr plan, OptimizeInfo* info) {
   OptimizeInfo local_info;
   if (info == nullptr) info = &local_info;
 
+  // Engine-wide optimizer metrics: every optimization (traced or not) counts
+  // its enumeration work and wall time into the global registry.
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  const uint64_t start_nanos = MonotonicNanos();
+  auto record = [&metrics, start_nanos, info]() {
+    metrics.optimizer_optimizations->Add(1);
+    metrics.optimizer_joins_costed->Add(info->enum_stats.joins_costed);
+    metrics.optimizer_plans_kept->Add(info->enum_stats.dp_entries);
+    metrics.optimizer_optimize_us->Observe(
+        static_cast<double>(MonotonicNanos() - start_nanos) / 1000.0);
+  };
+
   RELOPT_ASSIGN_OR_RETURN(plan, NormalizeLogicalPlan(std::move(plan)));
   aliases_.clear();
 
@@ -31,12 +45,14 @@ Result<PhysicalPtr> Optimizer::Optimize(LogicalPtr plan, OptimizeInfo* info) {
     RELOPT_ASSIGN_OR_RETURN(PhysicalPtr phys, TranslateNaive(std::move(plan)));
     info->est_rows = phys->est_rows();
     info->est_cost = phys->est_cost();
+    record();
     return phys;
   }
 
   RELOPT_ASSIGN_OR_RETURN(Translated t, Translate(std::move(plan), OrderSpec{}, info));
   info->est_rows = t.plan->est_rows();
   info->est_cost = t.plan->est_cost();
+  record();
   return std::move(t.plan);
 }
 
@@ -72,6 +88,16 @@ Result<Optimizer::Translated> Optimizer::Translate(LogicalPtr node,
       Translated t;
       auto phys = std::make_unique<PhysValues>(values->rows(), values->schema());
       phys->SetEstimates(static_cast<double>(values->rows().size()), Cost{});
+      t.plan = std::move(phys);
+      return t;
+    }
+    case LogicalNodeKind::kTableFunction: {
+      auto* fn = static_cast<LogicalTableFunction*>(node.get());
+      Translated t;
+      auto phys = std::make_unique<PhysTableFunctionScan>(fn->function_name(), fn->alias(),
+                                                          fn->schema());
+      // Snapshot size is unknown until execution; a nominal in-memory guess.
+      phys->SetEstimates(64.0, Cost{});
       t.plan = std::move(phys);
       return t;
     }
@@ -313,6 +339,13 @@ Result<PhysicalPtr> Optimizer::TranslateNaive(LogicalPtr node) {
       auto* values = static_cast<LogicalValues*>(node.get());
       auto phys = std::make_unique<PhysValues>(values->rows(), values->schema());
       phys->SetEstimates(static_cast<double>(values->rows().size()), Cost{});
+      return PhysicalPtr(std::move(phys));
+    }
+    case LogicalNodeKind::kTableFunction: {
+      auto* fn = static_cast<LogicalTableFunction*>(node.get());
+      auto phys = std::make_unique<PhysTableFunctionScan>(fn->function_name(), fn->alias(),
+                                                          fn->schema());
+      phys->SetEstimates(64.0, Cost{});
       return PhysicalPtr(std::move(phys));
     }
   }

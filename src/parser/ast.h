@@ -27,6 +27,7 @@ struct Statement {
   explicit Statement(StatementKind kind_in) : kind(kind_in) {}
   virtual ~Statement() = default;
   StatementKind kind;
+  std::string text;  ///< this statement's source text (query-history records)
 };
 
 using StatementPtr = std::unique_ptr<Statement>;
@@ -66,10 +67,11 @@ struct SelectItem {
   bool is_star = false;
 };
 
-/// A base-table reference in FROM, possibly aliased.
+/// A base-table or table-function reference in FROM, possibly aliased.
 struct TableRef {
   std::string table_name;
   std::string alias;  // defaults to table_name
+  bool is_function = false;  // true for `name()` (e.g. relopt_metrics())
 
   const std::string& EffectiveName() const { return alias.empty() ? table_name : alias; }
 };

@@ -9,7 +9,8 @@ namespace {
 /// Recursive-descent parser over a token stream.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string sql, std::vector<Token> tokens)
+      : sql_(std::move(sql)), tokens_(std::move(tokens)) {}
 
   Result<std::vector<StatementPtr>> ParseAll() {
     std::vector<StatementPtr> stmts;
@@ -18,7 +19,11 @@ class Parser {
         Advance();
         continue;
       }
+      size_t start = Peek().position;
       RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseOne());
+      // The statement's source text runs to the next token (";" or end).
+      stmt->text = std::string(
+          Trim(std::string_view(sql_).substr(start, Peek().position - start)));
       stmts.push_back(std::move(stmt));
     }
     return stmts;
@@ -311,6 +316,11 @@ class Parser {
   Result<TableRef> ParseTableRef() {
     TableRef ref;
     RELOPT_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    if (MatchSymbol("(")) {
+      // Table function: `name()` — introspection functions take no arguments.
+      if (!MatchSymbol(")")) return Error("table functions take no arguments; expected ')'");
+      ref.is_function = true;
+    }
     if (MatchWord("as")) {
       RELOPT_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("alias"));
     } else if (Peek().Is(TokenKind::kIdentifier) && !IsReservedWord(Peek())) {
@@ -529,6 +539,7 @@ class Parser {
     return Error("expected an expression, got '" + t.text + "'");
   }
 
+  std::string sql_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
@@ -537,7 +548,7 @@ class Parser {
 
 Result<std::vector<StatementPtr>> ParseScript(const std::string& sql) {
   RELOPT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(sql, std::move(tokens));
   return parser.ParseAll();
 }
 

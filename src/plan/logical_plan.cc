@@ -76,4 +76,10 @@ std::string LogicalValues::Describe() const {
   return "Values (" + std::to_string(rows_.size()) + " rows)";
 }
 
+std::string LogicalTableFunction::Describe() const {
+  std::string out = "TableFunction " + function_name_ + "()";
+  if (alias_ != function_name_) out += " AS " + alias_;
+  return out;
+}
+
 }  // namespace relopt

@@ -19,6 +19,7 @@ enum class LogicalNodeKind {
   kSort,
   kLimit,
   kValues,
+  kTableFunction,
 };
 
 class LogicalNode;
@@ -187,6 +188,26 @@ class LogicalLimit : public LogicalNode {
 
  private:
   int64_t limit_;
+};
+
+/// Introspection table function in FROM (relopt_metrics() etc.): a leaf scan
+/// over engine snapshot data (engine/table_functions.h). The schema is
+/// qualified by the FROM alias.
+class LogicalTableFunction : public LogicalNode {
+ public:
+  LogicalTableFunction(std::string function_name, std::string alias, Schema schema)
+      : LogicalNode(LogicalNodeKind::kTableFunction, std::move(schema)),
+        function_name_(std::move(function_name)),
+        alias_(std::move(alias)) {}
+
+  const std::string& function_name() const { return function_name_; }
+  const std::string& alias() const { return alias_; }
+
+  std::string Describe() const override;
+
+ private:
+  std::string function_name_;
+  std::string alias_;
 };
 
 /// Literal rows (INSERT ... VALUES and FROM-less SELECT).

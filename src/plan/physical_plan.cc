@@ -34,6 +34,8 @@ const char* PhysicalNodeKindToString(PhysicalNodeKind kind) {
       return "Values";
     case PhysicalNodeKind::kMaterialize:
       return "Materialize";
+    case PhysicalNodeKind::kTableFunctionScan:
+      return "TableFunctionScan";
   }
   return "?";
 }
@@ -186,5 +188,11 @@ std::string PhysValues::Describe() const {
 }
 
 std::string PhysMaterialize::Describe() const { return "Materialize"; }
+
+std::string PhysTableFunctionScan::Describe() const {
+  std::string out = "TableFunctionScan " + function_name_ + "()";
+  if (alias_ != function_name_) out += " AS " + alias_;
+  return out;
+}
 
 }  // namespace relopt

@@ -49,6 +49,7 @@ enum class PhysicalNodeKind {
   kLimit,
   kValues,
   kMaterialize,
+  kTableFunctionScan,
 };
 
 const char* PhysicalNodeKindToString(PhysicalNodeKind kind);
@@ -371,6 +372,24 @@ class PhysValues : public PhysicalNode {
 
  private:
   std::vector<Tuple> rows_;
+};
+
+/// Leaf scan over an engine-introspection snapshot (relopt_metrics() etc.);
+/// rows are materialized from the live registries at executor Init.
+class PhysTableFunctionScan : public PhysicalNode {
+ public:
+  PhysTableFunctionScan(std::string function_name, std::string alias, Schema schema)
+      : PhysicalNode(PhysicalNodeKind::kTableFunctionScan, std::move(schema)),
+        function_name_(std::move(function_name)),
+        alias_(std::move(alias)) {}
+
+  const std::string& function_name() const { return function_name_; }
+  const std::string& alias() const { return alias_; }
+  std::string Describe() const override;
+
+ private:
+  std::string function_name_;
+  std::string alias_;
 };
 
 /// Materializes the child into a scratch heap so re-scans cost |result| pages

@@ -3,8 +3,22 @@
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace relopt {
+
+namespace {
+/// Locks `mu`, counting contended acquisitions (pool latch waits) in the
+/// global metrics registry. The uncontended fast path is one try_lock.
+std::unique_lock<std::mutex> LockPoolMutex(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    EngineMetrics::Get().pool_latch_waits->Add(1);
+    lock.lock();
+  }
+  return lock;
+}
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk), capacity_(capacity) {
   RELOPT_DCHECK(capacity >= 1);
@@ -33,6 +47,7 @@ Status BufferPool::EvictFrameLocked(PageId page_id) {
   if (frame->dirty_) {
     RELOPT_RETURN_NOT_OK(disk_->WritePage(page_id, frame->data()));
     dirty_writebacks_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::Get().pool_dirty_writebacks->Add(1);
   }
   auto pos = lru_pos_.find(page_id);
   if (pos != lru_pos_.end()) {
@@ -41,6 +56,7 @@ Status BufferPool::EvictFrameLocked(PageId page_id) {
   }
   frames_.erase(it);
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::Get().pool_evictions->Add(1);
   return Status::OK();
 }
 
@@ -58,16 +74,18 @@ Status BufferPool::EnsureCapacityLocked() {
 }
 
 Result<PageFrame*> BufferPool::FetchPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockPoolMutex(mu_);
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::Get().pool_hits->Add(1);
     LocalIoCounters().pool_hits++;
     it->second->pin_count_++;
     TouchLruLocked(page_id);
     return it->second.get();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::Get().pool_misses->Add(1);
   LocalIoCounters().pool_misses++;
   RELOPT_RETURN_NOT_OK(EnsureCapacityLocked());
   auto frame = std::make_unique<PageFrame>();
@@ -82,7 +100,7 @@ Result<PageFrame*> BufferPool::FetchPage(PageId page_id) {
 }
 
 Result<PageFrame*> BufferPool::NewPage(FileId file_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockPoolMutex(mu_);
   RELOPT_ASSIGN_OR_RETURN(PageNo page_no, disk_->AllocatePage(file_id));
   PageId page_id{file_id, page_no};
   RELOPT_RETURN_NOT_OK(EnsureCapacityLocked());
@@ -99,7 +117,7 @@ Result<PageFrame*> BufferPool::NewPage(FileId file_id) {
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock = LockPoolMutex(mu_);
   auto it = frames_.find(page_id);
   if (it == frames_.end()) {
     return Status::NotFound("unpin of uncached page " + page_id.ToString());

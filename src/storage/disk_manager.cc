@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace relopt {
 
 FileId DiskManager::CreateFile() {
@@ -37,6 +39,7 @@ Result<PageNo> DiskManager::AllocatePage(FileId file_id) {
   file->pages.push_back(std::move(page));
   file->stats.pages_allocated++;
   pages_allocated_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::Get().disk_pages_allocated->Add(1);
   return static_cast<PageNo>(file->pages.size() - 1);
 }
 
@@ -49,6 +52,7 @@ Status DiskManager::ReadPage(PageId page_id, char* out) {
   std::memcpy(out, file->pages[page_id.page_no].get(), kPageSize);
   file->stats.page_reads++;
   page_reads_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::Get().disk_page_reads->Add(1);
   LocalIoCounters().page_reads++;
   return Status::OK();
 }
@@ -62,6 +66,7 @@ Status DiskManager::WritePage(PageId page_id, const char* data) {
   std::memcpy(file->pages[page_id.page_no].get(), data, kPageSize);
   file->stats.page_writes++;
   page_writes_.fetch_add(1, std::memory_order_relaxed);
+  EngineMetrics::Get().disk_page_writes->Add(1);
   LocalIoCounters().page_writes++;
   return Status::OK();
 }

@@ -1,0 +1,338 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/str_util.h"
+
+namespace relopt {
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Relaxed CAS-add on a double stored in an atomic<uint64_t>.
+void AtomicAddDouble(std::atomic<uint64_t>* slot, double delta) {
+  uint64_t old_bits = slot->load(std::memory_order_relaxed);
+  while (true) {
+    double next = BitsToDouble(old_bits) + delta;
+    if (slot->compare_exchange_weak(old_bits, DoubleToBits(next),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+/// Relaxed CAS-max on a non-negative double stored in an atomic<uint64_t>.
+/// (For non-negative doubles the bit patterns order like the values.)
+void AtomicMaxDouble(std::atomic<uint64_t>* slot, double value) {
+  uint64_t candidate = DoubleToBits(value);
+  uint64_t old_bits = slot->load(std::memory_order_relaxed);
+  while (BitsToDouble(old_bits) < value) {
+    if (slot->compare_exchange_weak(old_bits, candidate, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- histogram
+
+MetricHistogram::MetricHistogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  RELOPT_DCHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    RELOPT_DCHECK(bounds_[i] > bounds_[i - 1]) << "histogram bounds must increase";
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void MetricHistogram::Observe(double value) {
+#ifndef RELOPT_DISABLE_METRICS
+  if (value < 0) value = 0;
+  // Bucket i holds values in (bounds_[i-1], bounds_[i]] (Prometheus "le"
+  // semantics); values above the last bound land in the overflow bucket.
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, value);
+  AtomicMaxDouble(&max_bits_, value);
+#else
+  (void)value;
+#endif
+}
+
+std::vector<double> MetricHistogram::LatencyBucketsUs() {
+  std::vector<double> b;
+  for (double base = 1; base <= 1e6; base *= 10) {
+    b.push_back(base);
+    b.push_back(base * 2);
+    b.push_back(base * 5);
+  }
+  b.push_back(1e7);  // 10 s
+  return b;
+}
+
+std::vector<double> MetricHistogram::SizeBuckets() {
+  std::vector<double> b;
+  for (double base = 1; base <= 1e9; base *= 10) {
+    b.push_back(base);
+  }
+  return b;
+}
+
+MetricHistogram::Snapshot MetricHistogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.total_count = total_count_.load(std::memory_order_relaxed);
+  s.sum = BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+  s.max_value = BitsToDouble(max_bits_.load(std::memory_order_relaxed));
+  return s;
+}
+
+double MetricHistogram::Snapshot::Percentile(double q) const {
+  // Concurrent snapshots can see per-bucket counts whose sum differs slightly
+  // from total_count; rank against the summed counts for internal consistency.
+  uint64_t n = 0;
+  for (uint64_t c : counts) n += c;
+  if (n == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // 1-based rank of the target sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      if (i == bounds.size()) {
+        // Overflow bucket: every sample here exceeded the last bound; the max
+        // observation is the only honest summary.
+        return max_value;
+      }
+      double lo = i == 0 ? 0 : bounds[i - 1];
+      double hi = bounds[i];
+      // Never report beyond the largest observed value (exact for the
+      // single-sample and bucket-boundary cases where max is in this bucket).
+      hi = std::min(hi, std::max(max_value, lo));
+      // Linear interpolation by rank position inside the bucket.
+      double frac = static_cast<double>(rank - cumulative) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += counts[i];
+  }
+  return max_value;
+}
+
+// ---------------------------------------------------------------- registry
+
+MetricsRegistry::Entry* MetricsRegistry::FindLocked(const std::string& name) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const std::pair<std::string, Entry>& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+MetricCounter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    RELOPT_DCHECK(e->kind == Kind::kCounter) << "metric " << name << " registered with another kind";
+    return e->counter.get();
+  }
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.counter = std::make_unique<MetricCounter>();
+  MetricCounter* out = e.counter.get();
+  entries_.emplace_back(name, std::move(e));
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+MetricGauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    RELOPT_DCHECK(e->kind == Kind::kGauge) << "metric " << name << " registered with another kind";
+    return e->gauge.get();
+  }
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.gauge = std::make_unique<MetricGauge>();
+  MetricGauge* out = e.gauge.get();
+  entries_.emplace_back(name, std::move(e));
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+MetricHistogram* MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    RELOPT_DCHECK(e->kind == Kind::kHistogram)
+        << "metric " << name << " registered with another kind";
+    return e->histogram.get();
+  }
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.histogram = std::make_unique<MetricHistogram>(std::move(bounds));
+  MetricHistogram* out = e.histogram.get();
+  entries_.emplace_back(name, std::move(e));
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample s;
+    s.name = name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.kind = "counter";
+        s.value = static_cast<double>(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        s.kind = "gauge";
+        s.value = static_cast<double>(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        s.kind = "histogram";
+        MetricHistogram::Snapshot h = entry.histogram->snapshot();
+        s.value = h.sum;
+        s.count = h.total_count;
+        s.p50 = h.Percentile(0.50);
+        s.p95 = h.Percentile(0.95);
+        s.p99 = h.Percentile(0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+/// "relopt.pool.hits" -> "relopt_pool_hits" (Prometheus metric name charset).
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == ' ') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    std::string prom = PromName(name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + prom + " counter\n";
+        out += prom + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + prom + " gauge\n";
+        out += prom + " " + std::to_string(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        MetricHistogram::Snapshot h = entry.histogram->snapshot();
+        out += "# TYPE " + prom + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.counts[i];
+          out += prom + "_bucket{le=\"" + FormatDouble(h.bounds[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.counts[h.bounds.size()];
+        out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+        out += prom + "_sum " + FormatDouble(h.sum) + "\n";
+        out += prom + "_count " + std::to_string(h.total_count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<MetricSample> samples = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + JsonEscape(s.name) + "\": {\"kind\": \"" + s.kind + "\", \"value\": " +
+           FormatDouble(s.value);
+    if (s.kind == "histogram") {
+      out += ", \"count\": " + std::to_string(s.count) + ", \"p50\": " + FormatDouble(s.p50) +
+             ", \"p95\": " + FormatDouble(s.p95) + ", \"p99\": " + FormatDouble(s.p99);
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+const EngineMetrics& EngineMetrics::Get() {
+  static const EngineMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    EngineMetrics m;
+    m.disk_page_reads = r.counter("relopt.disk.page_reads");
+    m.disk_page_writes = r.counter("relopt.disk.page_writes");
+    m.disk_pages_allocated = r.counter("relopt.disk.pages_allocated");
+    m.pool_hits = r.counter("relopt.pool.hits");
+    m.pool_misses = r.counter("relopt.pool.misses");
+    m.pool_evictions = r.counter("relopt.pool.evictions");
+    m.pool_dirty_writebacks = r.counter("relopt.pool.dirty_writebacks");
+    m.pool_latch_waits = r.counter("relopt.pool.latch_waits");
+    m.threadpool_tasks_queued = r.counter("relopt.threadpool.tasks_queued");
+    m.threadpool_tasks_run = r.counter("relopt.threadpool.tasks_run");
+    m.threadpool_busy_nanos = r.counter("relopt.threadpool.busy_nanos");
+    m.threadpool_queue_depth = r.gauge("relopt.threadpool.queue_depth");
+    m.optimizer_optimizations = r.counter("relopt.optimizer.optimizations");
+    m.optimizer_joins_costed = r.counter("relopt.optimizer.joins_costed");
+    m.optimizer_plans_kept = r.counter("relopt.optimizer.plans_kept");
+    m.optimizer_plan_cache_hits = r.counter("relopt.optimizer.plan_cache.hits");
+    m.optimizer_plan_cache_misses = r.counter("relopt.optimizer.plan_cache.misses");
+    m.optimizer_optimize_us =
+        r.histogram("relopt.optimizer.optimize_us", MetricHistogram::LatencyBucketsUs());
+    m.exec_rows_produced = r.counter("relopt.exec.rows_produced");
+    m.exec_batches_produced = r.counter("relopt.exec.batches_produced");
+    m.exec_statements_failed = r.counter("relopt.exec.statements_failed");
+    m.engine_statement_us =
+        r.histogram("relopt.engine.statement_us", MetricHistogram::LatencyBucketsUs());
+    m.engine_statement_rows =
+        r.histogram("relopt.engine.statement_rows", MetricHistogram::SizeBuckets());
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace relopt

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace relopt {
 
@@ -26,6 +28,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push_back(std::move(task));
   }
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.threadpool_tasks_queued->Add(1);
+  m.threadpool_queue_depth->Add(1);
   cv_.notify_one();
 }
 
@@ -39,7 +44,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    const EngineMetrics& m = EngineMetrics::Get();
+    m.threadpool_queue_depth->Sub(1);
+    uint64_t busy_nanos = 0;
+    {
+      ScopedTimer timer(&busy_nanos);
+      task();
+    }
+    m.threadpool_busy_nanos->Add(busy_nanos);
+    m.threadpool_tasks_run->Add(1);
   }
 }
 

@@ -1,0 +1,212 @@
+// MetricsRegistry unit tests: counter/gauge semantics, histogram percentile
+// math (empty, single sample, bucket boundaries, overflow), concurrent
+// updates, Prometheus rendering, and the engine-wide instrumentation hooks.
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace relopt {
+namespace {
+
+using tu::Sql;
+
+TEST(MetricsTest, CounterAndGauge) {
+  MetricsRegistry registry;
+  MetricCounter* c = registry.counter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add(1);
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Find-or-create returns the same object.
+  EXPECT_EQ(registry.counter("test.counter"), c);
+
+  MetricGauge* g = registry.gauge("test.gauge");
+  g->Add(10);
+  g->Sub(3);
+  EXPECT_EQ(g->value(), 7);
+  g->Set(-5);
+  EXPECT_EQ(g->value(), -5);
+}
+
+TEST(MetricsTest, HistogramEmpty) {
+  MetricHistogram h({1.0, 10.0, 100.0});
+  MetricHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total_count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.Percentile(0.99), 0.0);
+}
+
+TEST(MetricsTest, HistogramSingleSample) {
+  MetricHistogram h({1.0, 10.0, 100.0});
+  h.Observe(5.0);
+  MetricHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total_count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_value, 5.0);
+  // Every percentile of a one-sample histogram lands in the (1, 10] bucket
+  // and must not exceed the tracked maximum.
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    double p = s.Percentile(q);
+    EXPECT_GT(p, 1.0) << "q=" << q;
+    EXPECT_LE(p, 5.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Prometheus "le" semantics: a sample equal to a bound belongs to that
+  // bound's bucket, not the next one.
+  MetricHistogram h({1.0, 10.0, 100.0});
+  h.Observe(1.0);   // (-inf, 1]
+  h.Observe(10.0);  // (1, 10]
+  MetricHistogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 0u);
+  EXPECT_EQ(s.counts[3], 0u);
+}
+
+TEST(MetricsTest, HistogramOverflowBucket) {
+  MetricHistogram h({1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5000.0);
+  h.Observe(99999.0);
+  MetricHistogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[2], 2u);  // both large samples overflowed
+  EXPECT_DOUBLE_EQ(s.max_value, 99999.0);
+  // Percentiles owned by the overflow bucket report the exact maximum.
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 99999.0);
+  // The median lands in the overflow bucket too (2 of 3 samples above 10).
+  EXPECT_DOUBLE_EQ(s.Percentile(0.9), 99999.0);
+}
+
+TEST(MetricsTest, HistogramPercentileMonotone) {
+  MetricHistogram h(MetricHistogram::LatencyBucketsUs());
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  MetricHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total_count, 1000u);
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double p = s.Percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+  // p50 of uniform 1..1000 should land near 500 (bucket interpolation).
+  EXPECT_GT(s.Percentile(0.5), 200.0);
+  EXPECT_LT(s.Percentile(0.5), 800.0);
+}
+
+TEST(MetricsTest, ConcurrentHistogramObserve) {
+  MetricHistogram h(MetricHistogram::SizeBuckets());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t * kPerThread + i) % 1000 + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MetricHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.total_count, static_cast<uint64_t>(kThreads * kPerThread));
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.total_count);
+}
+
+TEST(MetricsTest, ConcurrentCounterAdds) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Half the threads race registration against updates.
+    threads.emplace_back([&registry]() {
+      for (int i = 0; i < kPerThread; ++i) registry.counter("racy.counter")->Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("racy.counter")->value(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsTest, SnapshotAndPrometheusRendering) {
+  MetricsRegistry registry;
+  registry.counter("app.requests")->Add(3);
+  registry.gauge("app.depth")->Set(2);
+  registry.histogram("app.latency_us", {1.0, 10.0})->Observe(4.0);
+
+  std::vector<MetricSample> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // Sorted by name.
+  EXPECT_EQ(snap[0].name, "app.depth");
+  EXPECT_EQ(snap[0].kind, "gauge");
+  EXPECT_EQ(snap[1].name, "app.latency_us");
+  EXPECT_EQ(snap[1].kind, "histogram");
+  EXPECT_EQ(snap[1].count, 1u);
+  EXPECT_EQ(snap[2].name, "app.requests");
+  EXPECT_DOUBLE_EQ(snap[2].value, 3.0);
+
+  std::string prom = registry.RenderPrometheus();
+  // Dots map to underscores; histograms render cumulative buckets.
+  EXPECT_NE(prom.find("# TYPE app_requests counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("app_requests 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("app_latency_us_bucket{le=\"10\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("app_latency_us_bucket{le=\"+Inf\"} 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("app_latency_us_count 1"), std::string::npos) << prom;
+
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"app.requests\""), std::string::npos) << json;
+}
+
+// The engine instrumentation: running statements must move the global
+// counters. Asserted as deltas because the registry is process-global and
+// other tests run in the same process.
+TEST(MetricsTest, EngineCountersAdvanceWithWork) {
+  const EngineMetrics& em = EngineMetrics::Get();
+  const uint64_t reads_before = em.disk_page_reads->value();
+  const uint64_t opts_before = em.optimizer_optimizations->value();
+  const uint64_t rows_before = em.exec_rows_produced->value();
+
+  // A tiny pool under a multi-page table forces real page reads (at ~100
+  // rows per 4K page, 3000 rows cannot fit in 8 frames).
+  SessionOptions opts;
+  opts.buffer_pool_pages = 8;
+  Database db(opts);
+  tu::LoadEmpDept(&db, 3000, 10);
+  Sql(&db, "SELECT * FROM emp WHERE salary > 2000");
+
+  EXPECT_GT(em.disk_page_reads->value(), reads_before);
+  EXPECT_GT(em.optimizer_optimizations->value(), opts_before);
+  EXPECT_GT(em.exec_rows_produced->value(), rows_before);
+  EXPECT_GT(em.engine_statement_us->snapshot().total_count, 0u);
+}
+
+TEST(MetricsTest, ThreadPoolCountersAdvance) {
+  const EngineMetrics& em = EngineMetrics::Get();
+  const uint64_t run_before = em.threadpool_tasks_run->value();
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done]() { done.fetch_add(1); });
+    }
+    // The destructor drains the queue and joins the workers.
+  }
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_GE(em.threadpool_tasks_run->value(), run_before + 32);
+}
+
+}  // namespace
+}  // namespace relopt
