@@ -1,0 +1,160 @@
+// S1 — Multi-session serving throughput: shared plan cache on vs off.
+//
+// Drives one Database from 1/2/4/8 client threads (one Session each) over
+// the mixed parameterized template workload in workload/serving.h, with the
+// shared plan cache enabled and disabled. The workload is deterministic per
+// (seed, thread, query index), and every run reports an order-independent
+// checksum over all result rows — so the cache-on and cache-off runs of the
+// same configuration must produce bit-identical checksums, which this
+// binary enforces (along with zero errors and nonzero cache hits when the
+// cache is on). Expected shape: with five templates and hundreds of
+// executions per thread, nearly every execution after warm-up is a cache
+// hit that skips parse+rewrite+join enumeration entirely, so cache-on
+// throughput is strictly higher; the gap widens with the optimizer share of
+// total latency (small fixture => optimization is a large fraction).
+//
+// A final row re-runs the 4-thread workload through Session::Execute with
+// literals rendered into the SQL text (no prepared statements): the cache
+// keys on normalized text, so repeated literal combinations still hit, and
+// the checksum must again match the prepared run.
+//
+// argv[1] overrides queries per thread (tiny values = CI smoke runs);
+// argv[2] overrides the emp fixture row count.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "engine/plan_cache.h"
+#include "workload/serving.h"
+
+using namespace relopt;
+using namespace relopt::bench;
+
+namespace {
+
+struct RunPoint {
+  size_t threads = 0;
+  bool cache = false;
+  bool prepared = true;
+  ServingWorkloadResult r;
+};
+
+void DumpSummary(const std::vector<RunPoint>& points, size_t queries_per_thread,
+                 size_t emp_rows) {
+  const char* dir = std::getenv("RELOPT_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = std::string(dir) + "/serving_summary.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"queries_per_thread\":%zu,\"emp_rows\":%zu,\"points\":[",
+               queries_per_thread, emp_rows);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const RunPoint& p = points[i];
+    std::fprintf(f,
+                 "%s{\"threads\":%zu,\"plan_cache\":%s,\"prepared\":%s,"
+                 "\"queries\":%llu,\"errors\":%llu,\"qps\":%.1f,"
+                 "\"p50_micros\":%.1f,\"p99_micros\":%.1f,"
+                 "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                 "\"checksum\":\"%016llx\"}",
+                 i == 0 ? "" : ",", p.threads, p.cache ? "true" : "false",
+                 p.prepared ? "true" : "false",
+                 static_cast<unsigned long long>(p.r.total_queries),
+                 static_cast<unsigned long long>(p.r.errors), p.r.queries_per_second,
+                 p.r.p50_micros, p.r.p99_micros,
+                 static_cast<unsigned long long>(p.r.cache_hits),
+                 static_cast<unsigned long long>(p.r.cache_misses),
+                 static_cast<unsigned long long>(p.r.result_checksum));
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+}
+
+void Die(const std::string& message) {
+  std::fprintf(stderr, "bench_serving: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t queries_per_thread = 400;
+  size_t emp_rows = 1000;
+  if (argc > 1) queries_per_thread = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (queries_per_thread == 0) queries_per_thread = 400;
+  if (argc > 2) emp_rows = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (emp_rows == 0) emp_rows = 1000;
+
+  std::printf(
+      "S1: multi-session serving -- %zu queries/thread over the 5-template\n"
+      "mix (emp=%zu rows), 1/2/4/8 client sessions, shared plan cache off vs\n"
+      "on. Checksums are order-independent row digests and must be identical\n"
+      "within a thread count regardless of caching or prepare mode.\n\n",
+      queries_per_thread, emp_rows);
+
+  SessionOptions options;
+  options.buffer_pool_pages = 256;
+  Database db(options);
+  CheckOk(LoadServingFixture(&db, static_cast<int>(emp_rows)));
+
+  const std::vector<ServingQueryTemplate> mix = DefaultServingMix();
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+
+  std::vector<RunPoint> points;
+  TablePrinter table(
+      {"threads", "cache", "mode", "queries", "qps", "p50_us", "p99_us", "hits", "misses",
+       "checksum"});
+  double qps_4_off = 0, qps_4_on = 0;
+  uint64_t checksum_4_on = 0;
+
+  auto run = [&](size_t threads, bool cache, bool prepared) -> ServingWorkloadResult {
+    db.plan_cache()->Clear();
+    db.plan_cache()->set_enabled(cache);
+    ServingWorkloadOptions wo;
+    wo.num_threads = threads;
+    wo.queries_per_thread = queries_per_thread;
+    wo.use_prepared = prepared;
+    ServingWorkloadResult r = Unwrap(RunServingWorkload(&db, mix, wo));
+    if (r.errors != 0) Die("workload reported " + std::to_string(r.errors) + " errors");
+    if (cache && r.cache_hits == 0) Die("plan cache enabled but no hits recorded");
+    if (!cache && r.cache_hits != 0) Die("plan cache disabled but hits recorded");
+    points.push_back({threads, cache, prepared, r});
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(r.result_checksum));
+    table.AddRow({FInt(threads), cache ? "on" : "off", prepared ? "prepared" : "text",
+                  FInt(r.total_queries), F(r.queries_per_second, 0), F(r.p50_micros, 0),
+                  F(r.p99_micros, 0), FInt(r.cache_hits), FInt(r.cache_misses), checksum});
+    return r;
+  };
+
+  for (size_t threads : kThreadCounts) {
+    ServingWorkloadResult off = run(threads, /*cache=*/false, /*prepared=*/true);
+    ServingWorkloadResult on = run(threads, /*cache=*/true, /*prepared=*/true);
+    if (on.result_checksum != off.result_checksum) {
+      Die("checksum mismatch at " + std::to_string(threads) +
+          " threads: cache-on and cache-off runs returned different rows");
+    }
+    if (threads == 4) {
+      qps_4_off = off.queries_per_second;
+      qps_4_on = on.queries_per_second;
+      checksum_4_on = on.result_checksum;
+    }
+  }
+
+  // Text mode: literals rendered into the SQL, cache keyed on normalized
+  // text. Must return the same rows as the prepared 4-thread run.
+  ServingWorkloadResult text = run(4, /*cache=*/true, /*prepared=*/false);
+  if (text.result_checksum != checksum_4_on) {
+    Die("checksum mismatch: text-mode run differs from prepared run at 4 threads");
+  }
+
+  table.Print();
+  std::printf("\nheadline: 4-session throughput with the shared plan cache is %.2fx the\n"
+              "cache-off baseline (%.0f vs %.0f queries/sec), identical checksums\n",
+              qps_4_off > 0 ? qps_4_on / qps_4_off : 0, qps_4_on, qps_4_off);
+  DumpSummary(points, queries_per_thread, emp_rows);
+  MaybeDumpMetricsSnapshot();
+  return 0;
+}

@@ -29,6 +29,13 @@ echo "== bench_aggregate smoke (asan) =="
 # low/high cardinality + global, row/batch x parallelism 1/2/4) under ASAN.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_aggregate 2000
 
+echo "== bench_serving smoke (asan) =="
+# Tiny query count: drives the multi-session serving harness (1/2/4/8
+# sessions, prepared + text modes, plan cache on vs off) under ASAN. The
+# binary itself asserts zero errors, nonzero cache hits when enabled, and
+# checksum equality between cache-on and cache-off runs.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_serving 20
+
 echo "== metrics smoke (asan) =="
 # Corpus attribution check: the global MetricsRegistry page-I/O counters must
 # match the per-statement deltas and the summed EXPLAIN ANALYZE attribution
@@ -40,7 +47,7 @@ echo "== tsan build (concurrency tests) =="
 cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate|Metrics|QueryHistory|Introspection|LoggingConcurrency'
+  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate|Metrics|QueryHistory|Introspection|LoggingConcurrency|PlanCache|PreparedStatement|SessionConcurrency|SessionHistory'
 
 echo "== metrics smoke (tsan) =="
 # Same attribution check with instrumented atomics: counter updates come from
@@ -57,5 +64,10 @@ echo "== bench_aggregate smoke (tsan) =="
 # Parallel rows accumulate into per-worker partitions and merge across the
 # barrier; TSan checks the shared-state hand-off and the disjoint merge/emit.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_aggregate 2000
+
+echo "== bench_serving smoke (tsan) =="
+# Up to 8 sessions hammer the shared plan cache, statement lock, and query
+# history concurrently; TSan checks every cross-session hand-off.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_serving 20
 
 echo "All checks passed."

@@ -38,6 +38,7 @@ Result<TableInfo*> Catalog::CreateTable(const std::string& name, Schema schema) 
   auto info = std::make_unique<TableInfo>(name, std::move(schema), std::move(heap));
   TableInfo* raw = info.get();
   tables_[key] = std::move(info);
+  BumpVersion();
   return raw;
 }
 
@@ -69,6 +70,7 @@ Status Catalog::DropTable(const std::string& name) {
   RELOPT_RETURN_NOT_OK(pool_->DropFilePages(table->heap()->file_id()));
   pool_->disk()->DeleteFile(table->heap()->file_id());
   tables_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -113,6 +115,7 @@ Result<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
   IndexInfo* raw = info.get();
   indexes_[key] = std::move(info);
   table->AddIndex(raw);
+  BumpVersion();
   return raw;
 }
 
@@ -181,6 +184,8 @@ Status Catalog::AnalyzeTable(const std::string& table_name, size_t num_buckets) 
   table->set_stats(std::move(stats));
   table->set_has_stats(true);
   table->set_live_rows(rows);
+  // New statistics can change the optimizer's choices: retire cached plans.
+  BumpVersion();
   return Status::OK();
 }
 

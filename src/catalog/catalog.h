@@ -1,6 +1,7 @@
 // Catalog: tables, indexes, and their statistics.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -68,11 +69,21 @@ class TableInfo {
 
 /// \brief Owns all tables and indexes. Insert/delete go through the catalog
 /// so secondary indexes stay consistent.
+///
+/// `version()` is a monotonically increasing schema/statistics epoch: it bumps
+/// on every DDL (CREATE/DROP TABLE, CREATE INDEX) and every ANALYZE, i.e. on
+/// every change that can alter an optimized plan's validity or the optimizer's
+/// choices. The shared PlanCache keys cached plans on it.
 class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
 
   BufferPool* pool() const { return pool_; }
+
+  /// Current schema/statistics epoch (starts at 1). Thread-safe to read while
+  /// concurrent queries run; bumps happen under the engine's exclusive
+  /// statement lock.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Creates an empty table. AlreadyExists if the name is taken.
   Result<TableInfo*> CreateTable(const std::string& name, Schema schema);
@@ -108,9 +119,12 @@ class Catalog {
   Status AnalyzeTable(const std::string& table_name, size_t num_buckets = 32);
 
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
   BufferPool* pool_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;   // lower-cased keys
   std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;  // lower-cased keys
+  std::atomic<uint64_t> version_{1};
 };
 
 }  // namespace relopt

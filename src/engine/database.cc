@@ -2,10 +2,8 @@
 
 #include <algorithm>
 
-#include "expr/fold.h"
+#include "engine/session.h"
 #include "util/metrics.h"
-#include "util/str_util.h"
-#include "util/timer.h"
 
 namespace relopt {
 
@@ -54,11 +52,37 @@ std::string QueryResult::ToString() const {
 }
 
 Database::Database(SessionOptions options)
-    : options_(std::move(options)),
-      disk_(std::make_unique<DiskManager>()),
-      pool_(std::make_unique<BufferPool>(disk_.get(), options_.buffer_pool_pages)),
-      catalog_(std::make_unique<Catalog>(pool_.get())) {
-  options_.optimizer.buffer_pages = options_.buffer_pool_pages;
+    : disk_(std::make_unique<DiskManager>()),
+      pool_(std::make_unique<BufferPool>(disk_.get(), options.buffer_pool_pages)),
+      catalog_(std::make_unique<Catalog>(pool_.get())),
+      default_options_(std::move(options)) {
+  default_options_.optimizer.buffer_pages = default_options_.buffer_pool_pages;
+  default_session_ = CreateSession(default_options_);
+}
+
+Database::~Database() = default;
+
+Session* Database::CreateSession() { return CreateSession(default_options_); }
+
+Session* Database::CreateSession(SessionOptions options) {
+  options.optimizer.buffer_pages = pool_->capacity();
+  if (options.parallelism > 1) EnsureThreadPool(options.parallelism);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.push_back(
+      std::unique_ptr<Session>(new Session(this, next_session_id_++, std::move(options))));
+  EngineMetrics::Get().engine_sessions_opened->Add(1);
+  return sessions_.back().get();
+}
+
+void Database::EnsureThreadPool(size_t n) {
+  if (n <= 1) return;
+  // Exclusive statement lock: no executor may hold a pointer to the old pool
+  // while it is replaced. Growing is rare (session setup); the pool never
+  // shrinks because other sessions may still be sized for it.
+  std::unique_lock<std::shared_mutex> lock(statement_mu_);
+  if (thread_pool_ == nullptr || thread_pool_->num_threads() < n) {
+    thread_pool_ = std::make_unique<ThreadPool>(n);
+  }
 }
 
 void Database::ResetCounters() {
@@ -66,448 +90,48 @@ void Database::ResetCounters() {
   pool_->ResetStats();
 }
 
-void Database::set_parallelism(size_t n) {
-  if (n <= 1) {
-    parallelism_ = 1;
-    thread_pool_.reset();
-    return;
-  }
-  if (thread_pool_ == nullptr || thread_pool_->num_threads() != n) {
-    thread_pool_ = std::make_unique<ThreadPool>(n);
-  }
-  parallelism_ = n;
-}
+// --- default-session delegation ---------------------------------------------
 
-Result<LogicalPtr> Database::BindQuery(const std::string& select_sql) {
-  RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(select_sql));
-  if (stmt->kind != StatementKind::kSelect) {
-    return Status::InvalidArgument("expected a SELECT statement");
-  }
-  Binder binder(catalog_.get());
-  return binder.BindSelect(static_cast<SelectStmt*>(stmt.get()));
-}
-
-Result<PhysicalPtr> Database::OptimizeLogical(LogicalPtr logical, OptimizeInfo* info,
-                                              bool want_trace) {
-  const uint64_t start_nanos = MonotonicNanos();
-  options_.optimizer.buffer_pages = pool_->capacity();
-  if (trace_optimizer_ || want_trace) {
-    last_trace_ = std::make_unique<PlanTrace>();
-    info->trace = last_trace_.get();
-  }
-  Optimizer optimizer(catalog_.get(), options_.optimizer);
-  Result<PhysicalPtr> plan = optimizer.Optimize(std::move(logical), info);
-  last_opt_nanos_ = MonotonicNanos() - start_nanos;
-  return plan;
-}
-
-Result<PhysicalPtr> Database::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
-  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, BindQuery(select_sql));
-  OptimizeInfo local_info;
-  if (info == nullptr) info = &local_info;
-  return OptimizeLogical(std::move(logical), info, /*want_trace=*/false);
-}
-
-Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
-  metrics_ = ExecutionMetrics{};
-  IoStats io_before = disk_->stats();
-  BufferPoolStats pool_before = pool_->stats();
-  const uint64_t exec_start_nanos = MonotonicNanos();
-
-  ExecContext ctx(catalog_.get(), pool_.get(), thread_pool_.get(), parallelism_,
-                  options_.vectorized ? options_.batch_size : 0);
-  ctx.set_introspection(&MetricsRegistry::Global(), &history_);
-  QueryResult result;
-  result.schema = plan.schema();
-  uint64_t batches = 0;
-  ExecutorPtr root;  // must outlive Quiesce() and BuildPlanProfile below
-  // Drive the plan to completion. Runs as a lambda so the error path falls
-  // through to the same counter/profile capture as success: a statement that
-  // fails mid-execution reports exactly the work it did, exactly once.
-  auto drive = [&]() -> Status {
-    RELOPT_ASSIGN_OR_RETURN(root, BuildExecutor(&ctx, &plan));
-    RELOPT_RETURN_NOT_OK(root->Init());
-    if (ctx.batch_size() > 0) {
-      // Vectorized drive: pull batches through the root; a false return can
-      // still carry the stream's final rows.
-      TupleBatch batch(ctx.batch_size());
-      while (true) {
-        RELOPT_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
-        ++batches;
-        for (uint32_t i : batch.selection()) {
-          result.rows.push_back(std::move(*batch.MutableRowAt(i)));
-        }
-        if (!has) break;
-      }
-    } else {
-      Tuple t;
-      while (true) {
-        RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
-        if (!has) break;
-        result.rows.push_back(std::move(t));
-      }
-    }
-    return Status::OK();
-  };
-  Status status = drive();
-  // Stop any still-running parallel workers (a LIMIT can abandon a Gather
-  // mid-stream, and an error can leave them producing) before snapshotting
-  // counters and per-operator stats.
-  ctx.Quiesce();
-
-  IoStats io_after = disk_->stats();
-  BufferPoolStats pool_after = pool_->stats();
-  metrics_.io.page_reads = io_after.page_reads - io_before.page_reads;
-  metrics_.io.page_writes = io_after.page_writes - io_before.page_writes;
-  metrics_.io.pages_allocated = io_after.pages_allocated - io_before.pages_allocated;
-  metrics_.pool.hits = pool_after.hits - pool_before.hits;
-  metrics_.pool.misses = pool_after.misses - pool_before.misses;
-  metrics_.pool.evictions = pool_after.evictions - pool_before.evictions;
-  metrics_.pool.dirty_writebacks = pool_after.dirty_writebacks - pool_before.dirty_writebacks;
-  metrics_.tuples_processed = ctx.tuples_processed;
-  metrics_.est_rows = plan.est_rows();
-  metrics_.est_cost = plan.est_cost();
-  metrics_.actual_rows = result.rows.size();
-  metrics_.exec_nanos = MonotonicNanos() - exec_start_nanos;
-  metrics_.executed_plan = true;
-  profile_ = BuildPlanProfile(plan, ctx);
-
-  const EngineMetrics& em = EngineMetrics::Get();
-  em.exec_rows_produced->Add(result.rows.size());
-  em.exec_batches_produced->Add(batches);
-
-  RELOPT_RETURN_NOT_OK(status);
-  return result;
-}
-
-Result<QueryResult> Database::RunSelect(SelectStmt* stmt) {
-  Binder binder(catalog_.get());
-  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
-  OptimizeInfo info;
-  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan,
-                          OptimizeLogical(std::move(logical), &info, /*want_trace=*/false));
-  RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
-  metrics_.enum_stats = info.enum_stats;
-  metrics_.order_from_plan = info.order_from_plan;
-  metrics_.opt_nanos = last_opt_nanos_;
-  return result;
-}
-
-Result<std::string> Database::RunExplain(ExplainStmt* stmt) {
-  Binder binder(catalog_.get());
-  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical,
-                          binder.BindSelect(static_cast<SelectStmt*>(stmt->inner.get())));
-  OptimizeInfo info;
-  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, OptimizeLogical(std::move(logical), &info, stmt->trace));
-  std::string out;
-  if (stmt->analyze) {
-    RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*plan));
-    metrics_.opt_nanos = last_opt_nanos_;
-    // The profile replaces the plain plan text: same tree, annotated with
-    // actuals per operator.
-    out = profile_.valid ? profile_.ToText() : plan->ToString();
-    out += StringPrintf(
-        "actual: rows=%zu page_reads=%llu page_writes=%llu pool_hits=%llu pool_misses=%llu "
-        "tuples=%llu\n",
-        result.rows.size(), static_cast<unsigned long long>(metrics_.io.page_reads),
-        static_cast<unsigned long long>(metrics_.io.page_writes),
-        static_cast<unsigned long long>(metrics_.pool.hits),
-        static_cast<unsigned long long>(metrics_.pool.misses),
-        static_cast<unsigned long long>(metrics_.tuples_processed));
-  } else {
-    out = plan->ToString();
-  }
-  if (stmt->trace && last_trace_ != nullptr) {
-    out += "-- optimizer trace --\n";
-    out += last_trace_->ToText();
-  }
-  return out;
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  return default_session_->Execute(sql);
 }
 
 Result<std::string> Database::Explain(const std::string& select_sql) {
-  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, PlanQuery(select_sql));
-  return plan->ToString();
+  return default_session_->Explain(select_sql);
 }
 
-Status Database::RunInsert(InsertStmt* stmt) {
-  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt->table_name));
-  const Schema& schema = table->schema();
-
-  // Map the statement's columns to schema positions.
-  std::vector<size_t> positions;
-  if (stmt->columns.empty()) {
-    for (size_t i = 0; i < schema.NumColumns(); ++i) positions.push_back(i);
-  } else {
-    for (const std::string& name : stmt->columns) {
-      RELOPT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
-      positions.push_back(idx);
-    }
-  }
-
-  for (std::vector<ExprPtr>& row : stmt->rows) {
-    if (row.size() != positions.size()) {
-      return Status::InvalidArgument("INSERT row has " + std::to_string(row.size()) +
-                                     " values, expected " + std::to_string(positions.size()));
-    }
-    std::vector<Value> values(schema.NumColumns(), Value::Null());
-    for (size_t i = 0; i < schema.NumColumns(); ++i) {
-      values[i] = Value::Null(schema.ColumnAt(i).type);
-    }
-    for (size_t i = 0; i < row.size(); ++i) {
-      ExprPtr folded = FoldConstants(std::move(row[i]));
-      RELOPT_ASSIGN_OR_RETURN(Value v, folded->Eval(Tuple()));
-      RELOPT_ASSIGN_OR_RETURN(Value cast, v.CastTo(schema.ColumnAt(positions[i]).type));
-      values[positions[i]] = std::move(cast);
-    }
-    RELOPT_ASSIGN_OR_RETURN(Rid rid, catalog_->InsertTuple(table, Tuple(std::move(values))));
-    (void)rid;
-  }
-  return Status::OK();
+Result<PhysicalPtr> Database::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
+  return default_session_->PlanQuery(select_sql, info);
 }
 
-Status Database::RunDelete(DeleteStmt* stmt) {
-  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt->table_name));
-  ExprPtr pred;
-  if (stmt->where) {
-    pred = FoldConstants(std::move(stmt->where));
-    RELOPT_RETURN_NOT_OK(pred->Bind(table->schema().WithQualifier(table->name())));
-  }
-  // Collect matching RIDs first, then delete (no iterator invalidation).
-  std::vector<Rid> to_delete;
-  HeapFile::Iterator it(table->heap());
-  Rid rid;
-  std::string bytes;
-  while (true) {
-    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
-    if (!has) break;
-    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
-    bool matches = true;
-    if (pred) {
-      RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
-      matches = !v.is_null() && v.AsBool();
-    }
-    if (matches) to_delete.push_back(rid);
-  }
-  for (Rid r : to_delete) {
-    RELOPT_RETURN_NOT_OK(catalog_->DeleteTuple(table, r));
-  }
-  return Status::OK();
+Result<LogicalPtr> Database::BindQuery(const std::string& select_sql) {
+  return default_session_->BindQuery(select_sql);
 }
 
-Status Database::RunUpdate(UpdateStmt* stmt) {
-  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog_->GetTable(stmt->table_name));
-  const Schema qualified = table->schema().WithQualifier(table->name());
-
-  // Resolve assignment targets and bind value expressions (they may read the
-  // row's old values).
-  std::vector<std::pair<size_t, ExprPtr>> assignments;
-  for (auto& [col_name, value_expr] : stmt->assignments) {
-    RELOPT_ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(col_name));
-    ExprPtr expr = FoldConstants(std::move(value_expr));
-    RELOPT_RETURN_NOT_OK(expr->Bind(qualified));
-    assignments.emplace_back(idx, std::move(expr));
-  }
-  ExprPtr pred;
-  if (stmt->where) {
-    pred = FoldConstants(std::move(stmt->where));
-    RELOPT_RETURN_NOT_OK(pred->Bind(qualified));
-  }
-
-  // Collect the new images first (no iterator invalidation, and the scan
-  // never sees its own updates).
-  std::vector<std::pair<Rid, Tuple>> updates;
-  HeapFile::Iterator it(table->heap());
-  Rid rid;
-  std::string bytes;
-  while (true) {
-    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
-    if (!has) break;
-    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
-    if (pred) {
-      RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
-      if (v.is_null() || !v.AsBool()) continue;
-    }
-    Tuple updated = tuple;
-    for (const auto& [idx, expr] : assignments) {
-      RELOPT_ASSIGN_OR_RETURN(Value v, expr->Eval(tuple));
-      RELOPT_ASSIGN_OR_RETURN(Value cast, v.CastTo(table->schema().ColumnAt(idx).type));
-      updated.MutableAt(idx) = std::move(cast);
-    }
-    updates.emplace_back(rid, std::move(updated));
-  }
-  // Apply as delete + insert so every index stays consistent.
-  for (auto& [old_rid, new_tuple] : updates) {
-    RELOPT_RETURN_NOT_OK(catalog_->DeleteTuple(table, old_rid));
-    RELOPT_ASSIGN_OR_RETURN(Rid new_rid, catalog_->InsertTuple(table, new_tuple));
-    (void)new_rid;
-  }
-  return Status::OK();
+Result<QueryResult> Database::ExecutePlan(const PhysicalNode& plan) {
+  return default_session_->ExecutePlan(plan);
 }
 
-Result<QueryResult> Database::RunStatement(Statement* stmt, bool* produced_rows) {
-  *produced_rows = false;
-  // Each statement reports only its own deltas. SELECT/EXPLAIN re-zero and
-  // capture inside ExecutePlan; DML/DDL capture here via `capture`.
-  metrics_ = ExecutionMetrics{};
-  last_opt_nanos_ = 0;  // only SELECT/EXPLAIN set it; others must not inherit
-  IoStats io_before = disk_->stats();
-  BufferPoolStats pool_before = pool_->stats();
-  auto capture = [&]() {
-    IoStats io_after = disk_->stats();
-    BufferPoolStats pool_after = pool_->stats();
-    metrics_.io.page_reads = io_after.page_reads - io_before.page_reads;
-    metrics_.io.page_writes = io_after.page_writes - io_before.page_writes;
-    metrics_.io.pages_allocated = io_after.pages_allocated - io_before.pages_allocated;
-    metrics_.pool.hits = pool_after.hits - pool_before.hits;
-    metrics_.pool.misses = pool_after.misses - pool_before.misses;
-    metrics_.pool.evictions = pool_after.evictions - pool_before.evictions;
-    metrics_.pool.dirty_writebacks = pool_after.dirty_writebacks - pool_before.dirty_writebacks;
-  };
-  // DML/DDL run through `finish` so counters are captured exactly once on
-  // both the success and the error path (a failed UPDATE still reports the
-  // pages it scanned, and never leaks them into the next statement).
-  auto finish = [&](Status s) -> Result<QueryResult> {
-    capture();
-    RELOPT_RETURN_NOT_OK(s);
-    return QueryResult{};
-  };
-  switch (stmt->kind) {
-    case StatementKind::kCreateTable: {
-      auto* create = static_cast<CreateTableStmt*>(stmt);
-      Schema schema;
-      for (const ColumnDef& def : create->columns) {
-        schema.AddColumn(Column(def.name, def.type, create->table_name));
-      }
-      return finish(catalog_->CreateTable(create->table_name, std::move(schema)).status());
-    }
-    case StatementKind::kCreateIndex: {
-      auto* create = static_cast<CreateIndexStmt*>(stmt);
-      return finish(catalog_->CreateIndex(create->index_name, create->table_name,
-                                          create->columns, create->clustered)
-                        .status());
-    }
-    case StatementKind::kInsert:
-      return finish(RunInsert(static_cast<InsertStmt*>(stmt)));
-    case StatementKind::kAnalyze: {
-      auto* analyze = static_cast<AnalyzeStmt*>(stmt);
-      auto run = [&]() -> Status {
-        if (!analyze->table_name.empty()) {
-          return catalog_->AnalyzeTable(analyze->table_name, options_.analyze_buckets);
-        }
-        for (const std::string& name : catalog_->TableNames()) {
-          RELOPT_RETURN_NOT_OK(catalog_->AnalyzeTable(name, options_.analyze_buckets));
-        }
-        return Status::OK();
-      };
-      return finish(run());
-    }
-    case StatementKind::kDelete:
-      return finish(RunDelete(static_cast<DeleteStmt*>(stmt)));
-    case StatementKind::kUpdate:
-      return finish(RunUpdate(static_cast<UpdateStmt*>(stmt)));
-    case StatementKind::kSelect: {
-      *produced_rows = true;
-      return RunSelect(static_cast<SelectStmt*>(stmt));
-    }
-    case StatementKind::kExplain: {
-      *produced_rows = true;
-      RELOPT_ASSIGN_OR_RETURN(std::string text, RunExplain(static_cast<ExplainStmt*>(stmt)));
-      QueryResult result;
-      result.schema.AddColumn(Column("plan", TypeId::kString));
-      for (const std::string& line : Split(text, '\n')) {
-        if (line.empty()) continue;
-        result.rows.push_back(Tuple({Value::String(line)}));
-      }
-      return result;
-    }
-  }
-  return Status::Internal("unknown statement kind");
-}
+SessionOptions& Database::options() { return default_session_->options(); }
 
-namespace {
+const ExecutionMetrics& Database::last_metrics() const { return default_session_->last_metrics(); }
 
-const char* StatementVerb(StatementKind kind) {
-  switch (kind) {
-    case StatementKind::kCreateTable: return "create_table";
-    case StatementKind::kCreateIndex: return "create_index";
-    case StatementKind::kInsert: return "insert";
-    case StatementKind::kSelect: return "select";
-    case StatementKind::kExplain: return "explain";
-    case StatementKind::kAnalyze: return "analyze";
-    case StatementKind::kDelete: return "delete";
-    case StatementKind::kUpdate: return "update";
-  }
-  return "unknown";
-}
+const PlanProfile& Database::last_profile() const { return default_session_->last_profile(); }
 
-void FlattenOperators(const OperatorProfile& node, std::vector<OperatorRecord>* out) {
-  OperatorRecord rec;
-  rec.op = node.op;
-  rec.describe = node.describe;
-  rec.est_rows = node.est_rows;
-  rec.actual_rows = node.stats.rows_produced;
-  rec.q_error = node.q_error();
-  rec.page_reads = node.stats.page_reads;
-  rec.page_writes = node.stats.page_writes;
-  rec.wall_nanos = node.stats.wall_nanos;
-  rec.batches = node.stats.batches_produced;
-  out->push_back(std::move(rec));
-  for (const OperatorProfile& child : node.children) FlattenOperators(child, out);
-}
+void Database::set_trace_optimizer(bool on) { default_session_->set_trace_optimizer(on); }
 
-}  // namespace
+const PlanTrace* Database::last_trace() const { return default_session_->last_trace(); }
 
-void Database::RecordStatement(const Statement& stmt, const Status& status,
-                               uint64_t rows_returned, uint64_t wall_nanos) {
-  const char* verb = StatementVerb(stmt.kind);
-  const EngineMetrics& em = EngineMetrics::Get();
-  em.engine_statement_us->Observe(static_cast<double>(wall_nanos) / 1000.0);
-  MetricsRegistry::Global().counter(std::string("relopt.engine.statements.") + verb)->Add(1);
-  if (status.ok()) {
-    em.engine_statement_rows->Observe(static_cast<double>(rows_returned));
-  } else {
-    em.exec_statements_failed->Add(1);
-    MetricsRegistry::Global()
-        .counter("relopt.engine.errors." + ToLower(StatusCodeToString(status.code())))
-        ->Add(1);
-  }
+void Database::set_parallelism(size_t n) { default_session_->set_parallelism(n); }
 
-  QueryRecord rec;
-  rec.verb = verb;
-  rec.status = status.ok() ? "OK" : StatusCodeToString(status.code());
-  rec.error = status.ok() ? "" : status.message();
-  rec.sql = NormalizeSql(stmt.text);
-  rec.wall_micros = wall_nanos / 1000;
-  rec.opt_micros = last_opt_nanos_ / 1000;
-  rec.exec_micros = metrics_.exec_nanos / 1000;
-  rec.rows_returned = rows_returned;
-  rec.tuples_processed = metrics_.tuples_processed;
-  rec.page_reads = metrics_.io.page_reads;
-  rec.page_writes = metrics_.io.page_writes;
-  rec.pool_hits = metrics_.pool.hits;
-  rec.pool_misses = metrics_.pool.misses;
-  rec.parallelism = parallelism_;
-  rec.batch_size = options_.vectorized ? options_.batch_size : 0;
-  rec.vectorized = options_.vectorized;
-  if (metrics_.executed_plan && profile_.valid) {
-    FlattenOperators(profile_.root, &rec.operators);
-  }
-  history_.Append(std::move(rec));
-}
+size_t Database::parallelism() const { return default_session_->parallelism(); }
 
-Result<QueryResult> Database::Execute(const std::string& sql) {
-  RELOPT_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
-  QueryResult last;
-  for (StatementPtr& stmt : stmts) {
-    bool produced = false;
-    const uint64_t start_nanos = MonotonicNanos();
-    Result<QueryResult> result = RunStatement(stmt.get(), &produced);
-    const uint64_t wall_nanos = MonotonicNanos() - start_nanos;
-    RecordStatement(*stmt, result.status(), result.ok() ? result->rows.size() : 0, wall_nanos);
-    RELOPT_RETURN_NOT_OK(result.status());
-    if (produced) last = result.MoveValue();
-  }
-  return last;
-}
+void Database::set_vectorized(bool on) { default_session_->set_vectorized(on); }
+
+bool Database::vectorized() const { return default_session_->vectorized(); }
+
+void Database::set_batch_size(size_t n) { default_session_->set_batch_size(n); }
+
+size_t Database::batch_size() const { return default_session_->batch_size(); }
 
 }  // namespace relopt

@@ -1,11 +1,21 @@
 // Database: the top-level facade tying parser, binder, optimizer, executor,
 // storage, and catalog together.
+//
+// A Database owns the shared engine state — storage, catalog, thread pool,
+// plan cache, query history — and hands out Sessions (engine/session.h) for
+// clients. The Database's own SQL entry points route through an implicit
+// default session, so single-caller code keeps working unchanged; concurrent
+// callers create one Session each via CreateSession().
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
+#include "engine/plan_cache.h"
 #include "engine/query_history.h"
 #include "exec/executor_factory.h"
 #include "exec/plan_profile.h"
@@ -19,8 +29,11 @@
 
 namespace relopt {
 
+class Session;
+
 /// Per-session knobs. `optimizer.buffer_pages` is kept in sync with the real
-/// buffer pool automatically.
+/// buffer pool automatically. `buffer_pool_pages` applies only at Database
+/// construction (the pool is shared engine state).
 struct SessionOptions {
   size_t buffer_pool_pages = 256;
   OptimizerOptions optimizer;
@@ -31,6 +44,8 @@ struct SessionOptions {
   /// internal row loop, so the two modes always agree on results.
   bool vectorized = true;
   size_t batch_size = TupleBatch::kDefaultCapacity;
+  /// Intra-query parallelism for this session's statements (1 = serial).
+  size_t parallelism = 1;
 };
 
 /// A fully materialized query result.
@@ -45,6 +60,11 @@ struct QueryResult {
 /// Counters captured around one statement's execution. Captured exactly once
 /// per statement, on the success AND error paths, so a statement that fails
 /// mid-execution still reports (only) the work it actually did.
+///
+/// For statements that drive an executor tree, the I/O and pool counters are
+/// summed from the plan's per-operator attribution (thread-local, so they
+/// stay exact when other sessions execute concurrently); DML/DDL run under
+/// the exclusive statement lock and use global counter deltas.
 struct ExecutionMetrics {
   IoStats io;                 ///< page reads/writes during execution
   BufferPoolStats pool;       ///< hits/misses during execution
@@ -57,19 +77,35 @@ struct ExecutionMetrics {
   uint64_t opt_nanos = 0;     ///< bind + optimize time (SELECT/EXPLAIN)
   uint64_t exec_nanos = 0;    ///< executor build + drive time
   bool executed_plan = false; ///< true if this statement drove an executor tree
+  bool plan_cache_hit = false;  ///< SELECT served from the shared plan cache
 };
 
-/// \brief An embedded relational engine with a cost-based optimizer. Queries
-/// run serially by default; set_parallelism(n) turns on morsel-driven
-/// intra-query parallelism (see DESIGN.md). See README.md for the quickstart.
+/// \brief An embedded relational engine with a cost-based optimizer.
+///
+/// Thread-safety: the Database is safe to share across threads when each
+/// thread drives its own Session (CreateSession). The Database's own SQL
+/// methods route through the implicit default session, which — like every
+/// Session — is single-threaded.
 class Database {
  public:
   explicit Database(SessionOptions options = SessionOptions{});
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  // --- SQL entry points ---------------------------------------------------
+  // --- sessions -------------------------------------------------------------
+
+  /// Opens a new session with the given options (defaults to the options the
+  /// Database was constructed with). The returned Session is owned by the
+  /// Database and lives until the Database is destroyed. Thread-safe.
+  Session* CreateSession();
+  Session* CreateSession(SessionOptions options);
+
+  /// The implicit session behind Database::Execute and friends.
+  Session* default_session() { return default_session_; }
+
+  // --- SQL entry points (implicit default session) --------------------------
 
   /// Runs a script (semicolon-separated). Returns the result of the LAST
   /// statement that produces rows (SELECT/EXPLAIN), or an empty result.
@@ -93,75 +129,73 @@ class Database {
   Catalog* catalog() { return catalog_.get(); }
   BufferPool* pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
-  SessionOptions& options() { return options_; }
+  /// The default session's options (per-session; see Session::options()).
+  SessionOptions& options();
 
-  /// Counters from the most recent Execute/ExecutePlan.
-  const ExecutionMetrics& last_metrics() const { return metrics_; }
+  /// The plan cache shared by every session (SELECT plans, keyed on
+  /// normalized SQL + optimizer options + catalog version).
+  PlanCache* plan_cache() { return &plan_cache_; }
 
-  /// Per-statement history of this session's Execute() calls (a bounded ring;
+  /// Counters from the default session's most recent Execute/ExecutePlan.
+  const ExecutionMetrics& last_metrics() const;
+
+  /// Per-statement history of every session's statements (a bounded ring;
   /// also exposed through SELECT * FROM relopt_query_log()). Configure the
   /// slow-query log threshold via history()->set_slow_query_micros(us).
   QueryHistoryStore* history() { return &history_; }
   const QueryHistoryStore* history() const { return &history_; }
 
-  /// Per-operator stats of the most recent ExecutePlan (valid=false before
-  /// the first execution). Renders as EXPLAIN ANALYZE text, JSON, or a
-  /// chrome://tracing event array.
-  const PlanProfile& last_profile() const { return profile_; }
+  /// Per-operator stats of the default session's most recent ExecutePlan.
+  const PlanProfile& last_profile() const;
 
-  /// When on, every optimization records its decision log; EXPLAIN TRACE
-  /// enables it for one statement regardless of this flag.
-  void set_trace_optimizer(bool on) { trace_optimizer_ = on; }
-  /// Decision log of the most recent traced optimization (null if tracing
-  /// has never been on).
-  const PlanTrace* last_trace() const { return last_trace_.get(); }
+  /// When on, the default session traces every optimization (and bypasses
+  /// the plan cache); EXPLAIN TRACE enables it for one statement.
+  void set_trace_optimizer(bool on);
+  /// Decision log of the default session's most recent traced optimization.
+  const PlanTrace* last_trace() const;
 
-  /// Sets the intra-query parallelism degree. `n <= 1` reverts to fully
-  /// serial execution (the default) with no thread pool at all; `n > 1`
-  /// creates an `n`-thread pool and parallelizable plan subtrees run as `n`
-  /// worker fragments under a Gather. Plans themselves are unchanged —
-  /// parallelism is decided at executor-build time. Not thread-safe against
-  /// concurrent Execute calls; the Database itself is a single-session object.
+  /// Sets the default session's intra-query parallelism degree. `n <= 1`
+  /// means fully serial execution (the default); `n > 1` runs parallelizable
+  /// plan subtrees as `n` worker fragments under a Gather. The backing
+  /// thread pool is shared by all sessions and only ever grows.
   void set_parallelism(size_t n);
-  size_t parallelism() const { return parallelism_; }
+  size_t parallelism() const;
 
-  /// Toggles vectorized execution (see SessionOptions::vectorized).
-  void set_vectorized(bool on) { options_.vectorized = on; }
-  bool vectorized() const { return options_.vectorized; }
-  /// Rows per batch under vectorized execution (>= 1).
-  void set_batch_size(size_t n) { options_.batch_size = n == 0 ? 1 : n; }
-  size_t batch_size() const { return options_.batch_size; }
+  /// Toggles the default session's vectorized execution.
+  void set_vectorized(bool on);
+  bool vectorized() const;
+  /// Default session's rows per batch under vectorized execution (>= 1).
+  void set_batch_size(size_t n);
+  size_t batch_size() const;
 
   /// Zeroes disk + pool counters (benchmarks call between phases).
   void ResetCounters();
 
  private:
-  /// Shared optimize step: syncs buffer_pages, wires up tracing.
-  Result<PhysicalPtr> OptimizeLogical(LogicalPtr logical, OptimizeInfo* info, bool want_trace);
+  friend class Session;
+  friend class PreparedStatement;
 
-  Result<QueryResult> RunStatement(Statement* stmt, bool* produced_rows);
-  /// Appends one QueryRecord for a completed (possibly failed) statement and
-  /// bumps the per-verb / per-error-code engine metrics.
-  void RecordStatement(const Statement& stmt, const Status& status, uint64_t rows_returned,
-                       uint64_t wall_nanos);
-  Result<QueryResult> RunSelect(SelectStmt* stmt);
-  Result<std::string> RunExplain(ExplainStmt* stmt);
-  Status RunInsert(InsertStmt* stmt);
-  Status RunDelete(DeleteStmt* stmt);
-  Status RunUpdate(UpdateStmt* stmt);
+  /// Grows the shared thread pool to at least `n` threads (no-op for n<=1 or
+  /// when already big enough). Takes the statement lock exclusively, so it
+  /// must not be called with a statement in flight on the calling thread.
+  void EnsureThreadPool(size_t n);
 
-  SessionOptions options_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<ThreadPool> thread_pool_;
-  size_t parallelism_ = 1;
-  ExecutionMetrics metrics_;
+  PlanCache plan_cache_;
   QueryHistoryStore history_;
-  uint64_t last_opt_nanos_ = 0;  ///< most recent OptimizeLogical duration
-  PlanProfile profile_;
-  std::unique_ptr<PlanTrace> last_trace_;
-  bool trace_optimizer_ = false;
+
+  /// Statement-level reader/writer lock: SELECT/EXPLAIN shared, DML/DDL/
+  /// ANALYZE exclusive. See the concurrency model in engine/session.h.
+  std::shared_mutex statement_mu_;
+
+  mutable std::mutex sessions_mu_;  ///< guards sessions_, next_session_id_
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  SessionOptions default_options_;  ///< construction-time session defaults
+  Session* default_session_ = nullptr;
 };
 
 }  // namespace relopt

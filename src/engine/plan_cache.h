@@ -1,0 +1,112 @@
+// PlanCache: a thread-safe LRU cache of optimized physical plans, shared by
+// every Session of one Database.
+//
+// A cache hit skips parsing, binding, and optimization entirely: the cached
+// plan is a `shared_ptr<const PhysicalNode>` that concurrent executions share
+// by reference. That is safe because executors treat plan trees as read-only
+// (expressions are evaluated const; binding happens before a plan is ever
+// cached), and in-flight executions keep their shared_ptr alive even if the
+// entry is evicted or invalidated mid-query.
+//
+// Keys are produced by PlanCacheKey(): a literal-PRESERVING normalization of
+// the statement text (query-history's NormalizeSql strips literals, which
+// would alias `WHERE x = 1` and `WHERE x = 2` to one plan — wrong results)
+// plus a fingerprint of the optimizer options that can change plan choice.
+// Each entry also records the catalog version it was optimized under; DDL
+// (CREATE/DROP TABLE, CREATE INDEX) and ANALYZE bump the version, so a stale
+// entry can never serve a plan that predates a schema or statistics change.
+// Lookup drops stale entries lazily; Database additionally calls
+// InvalidateStale() after every DDL/ANALYZE so the snapshot (and the
+// relopt_plan_cache() table function) reflects invalidation eagerly.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "plan/physical_plan.h"
+
+namespace relopt {
+
+/// Cache key for one (statement text, optimizer options) combination.
+/// Literal-preserving: distinct literals produce distinct keys.
+std::string PlanCacheKey(const std::string& sql, const OptimizerOptions& options);
+
+/// \brief Thread-safe LRU plan cache. All methods may be called concurrently.
+class PlanCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity);
+
+  /// The cached plan for `key` if present and optimized under
+  /// `catalog_version`, else nullptr. A version mismatch drops the stale
+  /// entry (counted as an invalidation AND a miss). Hits move the entry to
+  /// the LRU front. Counts into both local stats and the global
+  /// relopt.optimizer.plan_cache.* metrics.
+  std::shared_ptr<const PhysicalNode> Lookup(const std::string& key, uint64_t catalog_version);
+
+  /// Caches `plan` under `key`, evicting the least-recently-used entry at
+  /// capacity. Replaces an existing entry for the same key.
+  void Insert(const std::string& key, uint64_t catalog_version,
+              std::shared_ptr<const PhysicalNode> plan);
+
+  /// Drops every entry whose catalog version != `current_version`.
+  /// Called after DDL and ANALYZE; returns the number dropped.
+  size_t InvalidateStale(uint64_t current_version);
+
+  /// Drops everything (counted as invalidations).
+  void Clear();
+
+  /// Disabled caches miss every Lookup and drop every Insert (the workload
+  /// harness A/Bs cache-on vs cache-off through this).
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;      ///< LRU capacity evictions only
+    uint64_t invalidations = 0;  ///< stale-version drops + Clear()
+  };
+  Stats stats() const;
+
+  /// One row of the relopt_plan_cache() table function, most recent first.
+  struct EntryInfo {
+    std::string key;           ///< normalized SQL + options fingerprint
+    uint64_t catalog_version = 0;
+    uint64_t hits = 0;         ///< lookups served by this entry
+    double est_cost = 0;       ///< plan's total estimated cost
+    double est_rows = 0;
+    std::string plan_root;     ///< root operator description
+  };
+  std::vector<EntryInfo> Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t catalog_version = 0;
+    uint64_t hits = 0;
+    std::shared_ptr<const PhysicalNode> plan;
+  };
+
+  /// Removes `it` from the LRU + map. Caller holds mu_ and counts the drop.
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;  ///< guards lru_, index_, stats_
+  std::list<Entry> lru_;   ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace relopt

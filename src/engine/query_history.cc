@@ -11,6 +11,7 @@ std::string QueryRecord::ToJson() const {
   std::string out = "{";
   out += "\"event\": \"slow_query\"";
   out += ", \"id\": " + std::to_string(id);
+  out += ", \"session\": " + std::to_string(session_id);
   out += ", \"verb\": \"" + JsonEscape(verb) + "\"";
   out += ", \"status\": \"" + JsonEscape(status) + "\"";
   if (!error.empty()) out += ", \"error\": \"" + JsonEscape(error) + "\"";
@@ -27,6 +28,7 @@ std::string QueryRecord::ToJson() const {
   out += ", \"parallelism\": " + std::to_string(parallelism);
   out += ", \"batch_size\": " + std::to_string(batch_size);
   out += std::string(", \"vectorized\": ") + (vectorized ? "true" : "false");
+  out += std::string(", \"plan_cache_hit\": ") + (plan_cache_hit ? "true" : "false");
   if (!operators.empty()) {
     out += ", \"operators\": [";
     for (size_t i = 0; i < operators.size(); ++i) {

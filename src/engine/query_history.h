@@ -44,6 +44,7 @@ struct OperatorRecord {
 /// One statement's retained execution record.
 struct QueryRecord {
   uint64_t id = 0;           ///< monotonically increasing, never reused
+  uint64_t session_id = 0;   ///< the Session that ran the statement
   std::string verb;          ///< "select", "insert", "explain", ...
   std::string status;        ///< "OK" or the StatusCode name
   std::string error;         ///< error message (empty on success)
@@ -60,6 +61,7 @@ struct QueryRecord {
   size_t parallelism = 1;
   size_t batch_size = 0;  ///< 0 = row-at-a-time
   bool vectorized = false;
+  bool plan_cache_hit = false;  ///< SELECT served from the shared plan cache
   std::vector<OperatorRecord> operators;  ///< empty when no plan was executed
 
   /// The slow-query log line: a one-line JSON object.

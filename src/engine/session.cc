@@ -1,0 +1,700 @@
+#include "engine/session.h"
+
+#include <shared_mutex>
+
+#include "expr/fold.h"
+#include "util/metrics.h"
+#include "util/str_util.h"
+#include "util/timer.h"
+
+namespace relopt {
+
+namespace {
+
+const char* StatementVerb(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kCreateTable: return "create_table";
+    case StatementKind::kCreateIndex: return "create_index";
+    case StatementKind::kDropTable: return "drop_table";
+    case StatementKind::kInsert: return "insert";
+    case StatementKind::kSelect: return "select";
+    case StatementKind::kExplain: return "explain";
+    case StatementKind::kAnalyze: return "analyze";
+    case StatementKind::kDelete: return "delete";
+    case StatementKind::kUpdate: return "update";
+  }
+  return "unknown";
+}
+
+bool IsReadStatement(StatementKind kind) {
+  return kind == StatementKind::kSelect || kind == StatementKind::kExplain;
+}
+
+bool InvalidatesPlans(StatementKind kind) {
+  // Schema changes and new statistics both retire cached plans.
+  return kind == StatementKind::kCreateTable || kind == StatementKind::kCreateIndex ||
+         kind == StatementKind::kDropTable || kind == StatementKind::kAnalyze;
+}
+
+void FlattenOperators(const OperatorProfile& node, std::vector<OperatorRecord>* out) {
+  OperatorRecord rec;
+  rec.op = node.op;
+  rec.describe = node.describe;
+  rec.est_rows = node.est_rows;
+  rec.actual_rows = node.stats.rows_produced;
+  rec.q_error = node.q_error();
+  rec.page_reads = node.stats.page_reads;
+  rec.page_writes = node.stats.page_writes;
+  rec.wall_nanos = node.stats.wall_nanos;
+  rec.batches = node.stats.batches_produced;
+  out->push_back(std::move(rec));
+  for (const OperatorProfile& child : node.children) FlattenOperators(child, out);
+}
+
+// --- statement cloning (prepared statements re-execute from a template) -----
+//
+// Execution is destructive (RunInsert folds VALUES expressions in place;
+// binding mutates expression trees), so every prepared execution runs
+// against a deep copy of the parsed template.
+
+ExprPtr CloneExpr(const ExprPtr& e) { return e == nullptr ? nullptr : e->Clone(); }
+
+StatementPtr CloneStatement(const Statement& stmt);
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s) {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = s.distinct;
+  for (const SelectItem& item : s.items) {
+    SelectItem copy;
+    copy.expr = CloneExpr(item.expr);
+    copy.alias = item.alias;
+    copy.is_star = item.is_star;
+    out->items.push_back(std::move(copy));
+  }
+  out->from = s.from;
+  out->where = CloneExpr(s.where);
+  for (const ExprPtr& g : s.group_by) out->group_by.push_back(CloneExpr(g));
+  out->having = CloneExpr(s.having);
+  for (const OrderByItem& o : s.order_by) {
+    OrderByItem copy;
+    copy.expr = CloneExpr(o.expr);
+    copy.desc = o.desc;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = s.limit;
+  return out;
+}
+
+StatementPtr CloneStatement(const Statement& stmt) {
+  StatementPtr out;
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable:
+      out = std::make_unique<CreateTableStmt>(static_cast<const CreateTableStmt&>(stmt));
+      break;
+    case StatementKind::kCreateIndex:
+      out = std::make_unique<CreateIndexStmt>(static_cast<const CreateIndexStmt&>(stmt));
+      break;
+    case StatementKind::kDropTable:
+      out = std::make_unique<DropTableStmt>(static_cast<const DropTableStmt&>(stmt));
+      break;
+    case StatementKind::kAnalyze:
+      out = std::make_unique<AnalyzeStmt>(static_cast<const AnalyzeStmt&>(stmt));
+      break;
+    case StatementKind::kInsert: {
+      const auto& s = static_cast<const InsertStmt&>(stmt);
+      auto copy = std::make_unique<InsertStmt>();
+      copy->table_name = s.table_name;
+      copy->columns = s.columns;
+      for (const std::vector<ExprPtr>& row : s.rows) {
+        std::vector<ExprPtr> row_copy;
+        for (const ExprPtr& e : row) row_copy.push_back(CloneExpr(e));
+        copy->rows.push_back(std::move(row_copy));
+      }
+      out = std::move(copy);
+      break;
+    }
+    case StatementKind::kSelect:
+      out = CloneSelect(static_cast<const SelectStmt&>(stmt));
+      break;
+    case StatementKind::kExplain: {
+      const auto& s = static_cast<const ExplainStmt&>(stmt);
+      auto copy = std::make_unique<ExplainStmt>();
+      copy->inner = CloneStatement(*s.inner);
+      copy->analyze = s.analyze;
+      copy->trace = s.trace;
+      out = std::move(copy);
+      break;
+    }
+    case StatementKind::kDelete: {
+      const auto& s = static_cast<const DeleteStmt&>(stmt);
+      auto copy = std::make_unique<DeleteStmt>();
+      copy->table_name = s.table_name;
+      copy->where = CloneExpr(s.where);
+      out = std::move(copy);
+      break;
+    }
+    case StatementKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStmt&>(stmt);
+      auto copy = std::make_unique<UpdateStmt>();
+      copy->table_name = s.table_name;
+      for (const auto& [name, expr] : s.assignments) {
+        copy->assignments.emplace_back(name, CloneExpr(expr));
+      }
+      copy->where = CloneExpr(s.where);
+      out = std::move(copy);
+      break;
+    }
+  }
+  out->text = stmt.text;
+  out->num_parameters = stmt.num_parameters;
+  return out;
+}
+
+/// Appends the owning slots of every ParameterExpr in the statement.
+void CollectStatementParameterSlots(Statement* stmt, std::vector<ExprPtr*>* out) {
+  switch (stmt->kind) {
+    case StatementKind::kSelect: {
+      auto* s = static_cast<SelectStmt*>(stmt);
+      for (SelectItem& item : s->items) CollectParameterSlots(&item.expr, out);
+      CollectParameterSlots(&s->where, out);
+      for (ExprPtr& g : s->group_by) CollectParameterSlots(&g, out);
+      CollectParameterSlots(&s->having, out);
+      for (OrderByItem& o : s->order_by) CollectParameterSlots(&o.expr, out);
+      break;
+    }
+    case StatementKind::kInsert: {
+      auto* s = static_cast<InsertStmt*>(stmt);
+      for (std::vector<ExprPtr>& row : s->rows) {
+        for (ExprPtr& e : row) CollectParameterSlots(&e, out);
+      }
+      break;
+    }
+    case StatementKind::kDelete:
+      CollectParameterSlots(&static_cast<DeleteStmt*>(stmt)->where, out);
+      break;
+    case StatementKind::kUpdate: {
+      auto* s = static_cast<UpdateStmt*>(stmt);
+      for (auto& [name, expr] : s->assignments) CollectParameterSlots(&expr, out);
+      CollectParameterSlots(&s->where, out);
+      break;
+    }
+    case StatementKind::kExplain:
+      CollectStatementParameterSlots(static_cast<ExplainStmt*>(stmt)->inner.get(), out);
+      break;
+    default:
+      break;  // DDL/ANALYZE carry no expressions
+  }
+}
+
+}  // namespace
+
+// --- PreparedStatement ------------------------------------------------------
+
+Result<QueryResult> PreparedStatement::Execute(const std::vector<Value>& params) {
+  if (params.size() != num_parameters()) {
+    return Status::InvalidArgument("prepared statement takes " +
+                                   std::to_string(num_parameters()) + " parameter(s), got " +
+                                   std::to_string(params.size()));
+  }
+  EngineMetrics::Get().engine_prepared_executions->Add(1);
+  StatementPtr stmt = CloneStatement(*template_);
+  std::vector<ExprPtr*> slots;
+  CollectStatementParameterSlots(stmt.get(), &slots);
+  for (ExprPtr* slot : slots) {
+    auto* param = static_cast<ParameterExpr*>(slot->get());
+    if (param->ordinal() >= params.size()) {
+      return Status::Internal("parameter ordinal out of range");
+    }
+    *slot = std::make_unique<LiteralExpr>(params[param->ordinal()]);
+  }
+  // Plan-cache entries are per parameter binding: the template text alone
+  // would alias different literals to one (wrong) plan.
+  std::string suffix;
+  if (!params.empty()) {
+    suffix = "|args:";
+    for (const Value& v : params) {
+      suffix += std::to_string(static_cast<int>(v.type())) + ":" + v.ToString() + ";";
+    }
+  }
+  bool produced = false;
+  return session_->ExecuteStatement(stmt.get(), &produced, suffix.empty() ? nullptr : &suffix);
+}
+
+// --- Session ----------------------------------------------------------------
+
+Result<QueryResult> Session::Execute(const std::string& sql) {
+  RELOPT_ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, ParseScript(sql));
+  QueryResult last;
+  for (StatementPtr& stmt : stmts) {
+    bool produced = false;
+    RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecuteStatement(stmt.get(), &produced, nullptr));
+    if (produced) last = std::move(result);
+  }
+  return last;
+}
+
+Result<std::string> Session::Explain(const std::string& select_sql) {
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, PlanQuery(select_sql));
+  return plan->ToString();
+}
+
+Result<PreparedStatement*> Session::Prepare(const std::string& sql) {
+  RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  EngineMetrics::Get().engine_statements_prepared->Add(1);
+  prepared_.push_back(
+      std::unique_ptr<PreparedStatement>(new PreparedStatement(this, sql, std::move(stmt))));
+  return prepared_.back().get();
+}
+
+Result<LogicalPtr> Session::BindQuery(const std::string& select_sql) {
+  RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(select_sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  std::shared_lock<std::shared_mutex> lock(db_->statement_mu_);
+  Binder binder(db_->catalog_.get());
+  return binder.BindSelect(static_cast<SelectStmt*>(stmt.get()));
+}
+
+Result<PhysicalPtr> Session::PlanQuery(const std::string& select_sql, OptimizeInfo* info) {
+  RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(select_sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  std::shared_lock<std::shared_mutex> lock(db_->statement_mu_);
+  Binder binder(db_->catalog_.get());
+  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical,
+                          binder.BindSelect(static_cast<SelectStmt*>(stmt.get())));
+  OptimizeInfo local_info;
+  if (info == nullptr) info = &local_info;
+  return OptimizeLogical(std::move(logical), info, /*want_trace=*/false);
+}
+
+Result<QueryResult> Session::ExecutePlan(const PhysicalNode& plan) {
+  std::shared_lock<std::shared_mutex> lock(db_->statement_mu_);
+  return ExecutePlanInternal(plan);
+}
+
+void Session::set_parallelism(size_t n) {
+  options_.parallelism = n <= 1 ? 1 : n;
+  db_->EnsureThreadPool(options_.parallelism);
+}
+
+Result<PhysicalPtr> Session::OptimizeLogical(LogicalPtr logical, OptimizeInfo* info,
+                                             bool want_trace) {
+  const uint64_t start_nanos = MonotonicNanos();
+  options_.optimizer.buffer_pages = db_->pool_->capacity();
+  if (trace_optimizer_ || want_trace) {
+    last_trace_ = std::make_unique<PlanTrace>();
+    info->trace = last_trace_.get();
+  }
+  Optimizer optimizer(db_->catalog_.get(), options_.optimizer);
+  Result<PhysicalPtr> plan = optimizer.Optimize(std::move(logical), info);
+  last_opt_nanos_ = MonotonicNanos() - start_nanos;
+  return plan;
+}
+
+Result<QueryResult> Session::ExecutePlanInternal(const PhysicalNode& plan) {
+  metrics_ = ExecutionMetrics{};
+  const uint64_t exec_start_nanos = MonotonicNanos();
+
+  ThreadPool* pool = options_.parallelism > 1 ? db_->thread_pool_.get() : nullptr;
+  ExecContext ctx(db_->catalog_.get(), db_->pool_.get(), pool, options_.parallelism,
+                  options_.vectorized ? options_.batch_size : 0);
+  ctx.set_introspection(&MetricsRegistry::Global(), &db_->history_, &db_->plan_cache_);
+  QueryResult result;
+  result.schema = plan.schema();
+  uint64_t batches = 0;
+  ExecutorPtr root;  // must outlive Quiesce() and BuildPlanProfile below
+  // Drive the plan to completion. Runs as a lambda so the error path falls
+  // through to the same counter/profile capture as success: a statement that
+  // fails mid-execution reports exactly the work it did, exactly once.
+  auto drive = [&]() -> Status {
+    RELOPT_ASSIGN_OR_RETURN(root, BuildExecutor(&ctx, &plan));
+    RELOPT_RETURN_NOT_OK(root->Init());
+    if (ctx.batch_size() > 0) {
+      // Vectorized drive: pull batches through the root; a false return can
+      // still carry the stream's final rows.
+      TupleBatch batch(ctx.batch_size());
+      while (true) {
+        RELOPT_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch));
+        ++batches;
+        for (uint32_t i : batch.selection()) {
+          result.rows.push_back(std::move(*batch.MutableRowAt(i)));
+        }
+        if (!has) break;
+      }
+    } else {
+      Tuple t;
+      while (true) {
+        RELOPT_ASSIGN_OR_RETURN(bool has, root->Next(&t));
+        if (!has) break;
+        result.rows.push_back(std::move(t));
+      }
+    }
+    return Status::OK();
+  };
+  Status status = drive();
+  // Stop any still-running parallel workers (a LIMIT can abandon a Gather
+  // mid-stream, and an error can leave them producing) before snapshotting
+  // per-operator stats.
+  ctx.Quiesce();
+
+  profile_ = BuildPlanProfile(plan, ctx);
+  // Per-statement I/O from this execution's own operator attribution: global
+  // counter deltas would absorb whatever other sessions did concurrently.
+  // (Pool evictions/writebacks and page allocations are engine-global with
+  // no per-operator attribution, so they stay zero here.)
+  metrics_.io.page_reads = profile_.TotalPageReads();
+  metrics_.io.page_writes = profile_.TotalPageWrites();
+  metrics_.pool.hits = profile_.TotalPoolHits();
+  metrics_.pool.misses = profile_.TotalPoolMisses();
+  metrics_.tuples_processed = ctx.tuples_processed;
+  metrics_.est_rows = plan.est_rows();
+  metrics_.est_cost = plan.est_cost();
+  metrics_.actual_rows = result.rows.size();
+  metrics_.exec_nanos = MonotonicNanos() - exec_start_nanos;
+  metrics_.executed_plan = true;
+
+  const EngineMetrics& em = EngineMetrics::Get();
+  em.exec_rows_produced->Add(result.rows.size());
+  em.exec_batches_produced->Add(batches);
+
+  RELOPT_RETURN_NOT_OK(status);
+  return result;
+}
+
+Result<QueryResult> Session::RunSelect(SelectStmt* stmt, const std::string* cache_suffix) {
+  PlanCache& cache = db_->plan_cache_;
+  options_.optimizer.buffer_pages = db_->pool_->capacity();
+  const uint64_t catalog_version = db_->catalog_->version();
+  std::string key = PlanCacheKey(stmt->text, options_.optimizer);
+  if (cache_suffix != nullptr) key += *cache_suffix;
+
+  // Tracing needs an actual optimization to record; bypass the cache then.
+  std::shared_ptr<const PhysicalNode> plan =
+      trace_optimizer_ ? nullptr : cache.Lookup(key, catalog_version);
+  const bool cache_hit = plan != nullptr;
+  OptimizeInfo info;
+  if (plan == nullptr) {
+    Binder binder(db_->catalog_.get());
+    RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
+    RELOPT_ASSIGN_OR_RETURN(PhysicalPtr optimized,
+                            OptimizeLogical(std::move(logical), &info, /*want_trace=*/false));
+    plan = std::shared_ptr<const PhysicalNode>(std::move(optimized));
+    if (!trace_optimizer_) cache.Insert(key, catalog_version, plan);
+  } else {
+    last_opt_nanos_ = 0;  // the whole point of a hit: no bind, no optimize
+  }
+  RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlanInternal(*plan));
+  metrics_.enum_stats = info.enum_stats;
+  metrics_.order_from_plan = info.order_from_plan;
+  metrics_.opt_nanos = last_opt_nanos_;
+  metrics_.plan_cache_hit = cache_hit;
+  return result;
+}
+
+Result<std::string> Session::RunExplain(ExplainStmt* stmt) {
+  Binder binder(db_->catalog_.get());
+  RELOPT_ASSIGN_OR_RETURN(LogicalPtr logical,
+                          binder.BindSelect(static_cast<SelectStmt*>(stmt->inner.get())));
+  OptimizeInfo info;
+  RELOPT_ASSIGN_OR_RETURN(PhysicalPtr plan, OptimizeLogical(std::move(logical), &info, stmt->trace));
+  std::string out;
+  if (stmt->analyze) {
+    RELOPT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlanInternal(*plan));
+    metrics_.opt_nanos = last_opt_nanos_;
+    // The profile replaces the plain plan text: same tree, annotated with
+    // actuals per operator.
+    out = profile_.valid ? profile_.ToText() : plan->ToString();
+    out += StringPrintf(
+        "actual: rows=%zu page_reads=%llu page_writes=%llu pool_hits=%llu pool_misses=%llu "
+        "tuples=%llu\n",
+        result.rows.size(), static_cast<unsigned long long>(metrics_.io.page_reads),
+        static_cast<unsigned long long>(metrics_.io.page_writes),
+        static_cast<unsigned long long>(metrics_.pool.hits),
+        static_cast<unsigned long long>(metrics_.pool.misses),
+        static_cast<unsigned long long>(metrics_.tuples_processed));
+  } else {
+    out = plan->ToString();
+  }
+  if (stmt->trace && last_trace_ != nullptr) {
+    out += "-- optimizer trace --\n";
+    out += last_trace_->ToText();
+  }
+  return out;
+}
+
+Status Session::RunInsert(InsertStmt* stmt) {
+  Catalog* catalog = db_->catalog_.get();
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog->GetTable(stmt->table_name));
+  const Schema& schema = table->schema();
+
+  // Map the statement's columns to schema positions.
+  std::vector<size_t> positions;
+  if (stmt->columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt->columns) {
+      RELOPT_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(name));
+      positions.push_back(idx);
+    }
+  }
+
+  for (std::vector<ExprPtr>& row : stmt->rows) {
+    if (row.size() != positions.size()) {
+      return Status::InvalidArgument("INSERT row has " + std::to_string(row.size()) +
+                                     " values, expected " + std::to_string(positions.size()));
+    }
+    std::vector<Value> values(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < schema.NumColumns(); ++i) {
+      values[i] = Value::Null(schema.ColumnAt(i).type);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      ExprPtr folded = FoldConstants(std::move(row[i]));
+      RELOPT_ASSIGN_OR_RETURN(Value v, folded->Eval(Tuple()));
+      RELOPT_ASSIGN_OR_RETURN(Value cast, v.CastTo(schema.ColumnAt(positions[i]).type));
+      values[positions[i]] = std::move(cast);
+    }
+    RELOPT_ASSIGN_OR_RETURN(Rid rid, catalog->InsertTuple(table, Tuple(std::move(values))));
+    (void)rid;
+  }
+  return Status::OK();
+}
+
+Status Session::RunDelete(DeleteStmt* stmt) {
+  Catalog* catalog = db_->catalog_.get();
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog->GetTable(stmt->table_name));
+  ExprPtr pred;
+  if (stmt->where) {
+    pred = FoldConstants(std::move(stmt->where));
+    RELOPT_RETURN_NOT_OK(pred->Bind(table->schema().WithQualifier(table->name())));
+  }
+  // Collect matching RIDs first, then delete (no iterator invalidation).
+  std::vector<Rid> to_delete;
+  HeapFile::Iterator it(table->heap());
+  Rid rid;
+  std::string bytes;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
+    bool matches = true;
+    if (pred) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
+      matches = !v.is_null() && v.AsBool();
+    }
+    if (matches) to_delete.push_back(rid);
+  }
+  for (Rid r : to_delete) {
+    RELOPT_RETURN_NOT_OK(catalog->DeleteTuple(table, r));
+  }
+  return Status::OK();
+}
+
+Status Session::RunUpdate(UpdateStmt* stmt) {
+  Catalog* catalog = db_->catalog_.get();
+  RELOPT_ASSIGN_OR_RETURN(TableInfo * table, catalog->GetTable(stmt->table_name));
+  const Schema qualified = table->schema().WithQualifier(table->name());
+
+  // Resolve assignment targets and bind value expressions (they may read the
+  // row's old values).
+  std::vector<std::pair<size_t, ExprPtr>> assignments;
+  for (auto& [col_name, value_expr] : stmt->assignments) {
+    RELOPT_ASSIGN_OR_RETURN(size_t idx, table->schema().IndexOf(col_name));
+    ExprPtr expr = FoldConstants(std::move(value_expr));
+    RELOPT_RETURN_NOT_OK(expr->Bind(qualified));
+    assignments.emplace_back(idx, std::move(expr));
+  }
+  ExprPtr pred;
+  if (stmt->where) {
+    pred = FoldConstants(std::move(stmt->where));
+    RELOPT_RETURN_NOT_OK(pred->Bind(qualified));
+  }
+
+  // Collect the new images first (no iterator invalidation, and the scan
+  // never sees its own updates).
+  std::vector<std::pair<Rid, Tuple>> updates;
+  HeapFile::Iterator it(table->heap());
+  Rid rid;
+  std::string bytes;
+  while (true) {
+    RELOPT_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &bytes));
+    if (!has) break;
+    RELOPT_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(bytes, table->schema().NumColumns()));
+    if (pred) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, pred->Eval(tuple));
+      if (v.is_null() || !v.AsBool()) continue;
+    }
+    Tuple updated = tuple;
+    for (const auto& [idx, expr] : assignments) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, expr->Eval(tuple));
+      RELOPT_ASSIGN_OR_RETURN(Value cast, v.CastTo(table->schema().ColumnAt(idx).type));
+      updated.MutableAt(idx) = std::move(cast);
+    }
+    updates.emplace_back(rid, std::move(updated));
+  }
+  // Apply as delete + insert so every index stays consistent.
+  for (auto& [old_rid, new_tuple] : updates) {
+    RELOPT_RETURN_NOT_OK(catalog->DeleteTuple(table, old_rid));
+    RELOPT_ASSIGN_OR_RETURN(Rid new_rid, catalog->InsertTuple(table, new_tuple));
+    (void)new_rid;
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Session::RunStatement(Statement* stmt, bool* produced_rows,
+                                          const std::string* cache_suffix) {
+  *produced_rows = false;
+  // Each statement reports only its own deltas. SELECT/EXPLAIN re-zero and
+  // capture inside ExecutePlanInternal from per-operator attribution;
+  // DML/DDL run under the exclusive statement lock, so the global-delta
+  // capture below sees only this statement's work.
+  metrics_ = ExecutionMetrics{};
+  last_opt_nanos_ = 0;  // only SELECT/EXPLAIN set it; others must not inherit
+  Catalog* catalog = db_->catalog_.get();
+  IoStats io_before = db_->disk_->stats();
+  BufferPoolStats pool_before = db_->pool_->stats();
+  auto capture = [&]() {
+    IoStats io_after = db_->disk_->stats();
+    BufferPoolStats pool_after = db_->pool_->stats();
+    metrics_.io.page_reads = io_after.page_reads - io_before.page_reads;
+    metrics_.io.page_writes = io_after.page_writes - io_before.page_writes;
+    metrics_.io.pages_allocated = io_after.pages_allocated - io_before.pages_allocated;
+    metrics_.pool.hits = pool_after.hits - pool_before.hits;
+    metrics_.pool.misses = pool_after.misses - pool_before.misses;
+    metrics_.pool.evictions = pool_after.evictions - pool_before.evictions;
+    metrics_.pool.dirty_writebacks = pool_after.dirty_writebacks - pool_before.dirty_writebacks;
+  };
+  // DML/DDL run through `finish` so counters are captured exactly once on
+  // both the success and the error path (a failed UPDATE still reports the
+  // pages it scanned, and never leaks them into the next statement).
+  auto finish = [&](Status s) -> Result<QueryResult> {
+    capture();
+    RELOPT_RETURN_NOT_OK(s);
+    return QueryResult{};
+  };
+  switch (stmt->kind) {
+    case StatementKind::kCreateTable: {
+      auto* create = static_cast<CreateTableStmt*>(stmt);
+      Schema schema;
+      for (const ColumnDef& def : create->columns) {
+        schema.AddColumn(Column(def.name, def.type, create->table_name));
+      }
+      return finish(catalog->CreateTable(create->table_name, std::move(schema)).status());
+    }
+    case StatementKind::kCreateIndex: {
+      auto* create = static_cast<CreateIndexStmt*>(stmt);
+      return finish(catalog->CreateIndex(create->index_name, create->table_name, create->columns,
+                                         create->clustered)
+                        .status());
+    }
+    case StatementKind::kDropTable: {
+      auto* drop = static_cast<DropTableStmt*>(stmt);
+      if (drop->if_exists && !catalog->HasTable(drop->table_name)) {
+        return finish(Status::OK());
+      }
+      return finish(catalog->DropTable(drop->table_name));
+    }
+    case StatementKind::kInsert:
+      return finish(RunInsert(static_cast<InsertStmt*>(stmt)));
+    case StatementKind::kAnalyze: {
+      auto* analyze = static_cast<AnalyzeStmt*>(stmt);
+      auto run = [&]() -> Status {
+        if (!analyze->table_name.empty()) {
+          return catalog->AnalyzeTable(analyze->table_name, options_.analyze_buckets);
+        }
+        for (const std::string& name : catalog->TableNames()) {
+          RELOPT_RETURN_NOT_OK(catalog->AnalyzeTable(name, options_.analyze_buckets));
+        }
+        return Status::OK();
+      };
+      return finish(run());
+    }
+    case StatementKind::kDelete:
+      return finish(RunDelete(static_cast<DeleteStmt*>(stmt)));
+    case StatementKind::kUpdate:
+      return finish(RunUpdate(static_cast<UpdateStmt*>(stmt)));
+    case StatementKind::kSelect: {
+      *produced_rows = true;
+      return RunSelect(static_cast<SelectStmt*>(stmt), cache_suffix);
+    }
+    case StatementKind::kExplain: {
+      *produced_rows = true;
+      RELOPT_ASSIGN_OR_RETURN(std::string text, RunExplain(static_cast<ExplainStmt*>(stmt)));
+      QueryResult result;
+      result.schema.AddColumn(Column("plan", TypeId::kString));
+      for (const std::string& line : Split(text, '\n')) {
+        if (line.empty()) continue;
+        result.rows.push_back(Tuple({Value::String(line)}));
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<QueryResult> Session::ExecuteStatement(Statement* stmt, bool* produced_rows,
+                                              const std::string* cache_suffix) {
+  const uint64_t start_nanos = MonotonicNanos();
+  Result<QueryResult> result = Status::Internal("statement did not run");
+  if (IsReadStatement(stmt->kind)) {
+    // Readers share the lock: SELECT/EXPLAIN from different sessions run
+    // concurrently (plans, catalog entries, and the buffer pool are all
+    // safe for concurrent readers).
+    std::shared_lock<std::shared_mutex> lock(db_->statement_mu_);
+    result = RunStatement(stmt, produced_rows, cache_suffix);
+  } else {
+    // Writers serialize, and never overlap any reader.
+    std::unique_lock<std::shared_mutex> lock(db_->statement_mu_);
+    result = RunStatement(stmt, produced_rows, cache_suffix);
+    if (result.ok() && InvalidatesPlans(stmt->kind)) {
+      db_->plan_cache_.InvalidateStale(db_->catalog_->version());
+    }
+  }
+  const uint64_t wall_nanos = MonotonicNanos() - start_nanos;
+  RecordStatement(*stmt, result.status(), result.ok() ? result->rows.size() : 0, wall_nanos);
+  return result;
+}
+
+void Session::RecordStatement(const Statement& stmt, const Status& status,
+                              uint64_t rows_returned, uint64_t wall_nanos) {
+  const char* verb = StatementVerb(stmt.kind);
+  const EngineMetrics& em = EngineMetrics::Get();
+  em.engine_statement_us->Observe(static_cast<double>(wall_nanos) / 1000.0);
+  MetricsRegistry::Global().counter(std::string("relopt.engine.statements.") + verb)->Add(1);
+  if (status.ok()) {
+    em.engine_statement_rows->Observe(static_cast<double>(rows_returned));
+  } else {
+    em.exec_statements_failed->Add(1);
+    MetricsRegistry::Global()
+        .counter("relopt.engine.errors." + ToLower(StatusCodeToString(status.code())))
+        ->Add(1);
+  }
+
+  QueryRecord rec;
+  rec.session_id = id_;
+  rec.verb = verb;
+  rec.status = status.ok() ? "OK" : StatusCodeToString(status.code());
+  rec.error = status.ok() ? "" : status.message();
+  rec.sql = NormalizeSql(stmt.text);
+  rec.wall_micros = wall_nanos / 1000;
+  rec.opt_micros = last_opt_nanos_ / 1000;
+  rec.exec_micros = metrics_.exec_nanos / 1000;
+  rec.rows_returned = rows_returned;
+  rec.tuples_processed = metrics_.tuples_processed;
+  rec.page_reads = metrics_.io.page_reads;
+  rec.page_writes = metrics_.io.page_writes;
+  rec.pool_hits = metrics_.pool.hits;
+  rec.pool_misses = metrics_.pool.misses;
+  rec.parallelism = options_.parallelism;
+  rec.batch_size = options_.vectorized ? options_.batch_size : 0;
+  rec.vectorized = options_.vectorized;
+  rec.plan_cache_hit = metrics_.plan_cache_hit;
+  if (metrics_.executed_plan && profile_.valid) {
+    FlattenOperators(profile_.root, &rec.operators);
+  }
+  db_->history_.Append(std::move(rec));
+}
+
+}  // namespace relopt

@@ -1,5 +1,6 @@
 #include "engine/table_functions.h"
 
+#include "engine/plan_cache.h"
 #include "engine/query_history.h"
 #include "util/metrics.h"
 #include "util/str_util.h"
@@ -11,6 +12,7 @@ namespace {
 constexpr const char* kMetricsFn = "relopt_metrics";
 constexpr const char* kQueryLogFn = "relopt_query_log";
 constexpr const char* kOperatorStatsFn = "relopt_operator_stats";
+constexpr const char* kPlanCacheFn = "relopt_plan_cache";
 
 Schema MetricsSchema() {
   Schema s;
@@ -27,6 +29,7 @@ Schema MetricsSchema() {
 Schema QueryLogSchema() {
   Schema s;
   s.AddColumn(Column("id", TypeId::kInt64));
+  s.AddColumn(Column("session_id", TypeId::kInt64));
   s.AddColumn(Column("verb", TypeId::kString));
   s.AddColumn(Column("status", TypeId::kString));
   s.AddColumn(Column("error", TypeId::kString));
@@ -43,6 +46,18 @@ Schema QueryLogSchema() {
   s.AddColumn(Column("parallelism", TypeId::kInt64));
   s.AddColumn(Column("batch_size", TypeId::kInt64));
   s.AddColumn(Column("vectorized", TypeId::kBool));
+  s.AddColumn(Column("plan_cache_hit", TypeId::kBool));
+  return s;
+}
+
+Schema PlanCacheSchema() {
+  Schema s;
+  s.AddColumn(Column("key", TypeId::kString));
+  s.AddColumn(Column("catalog_version", TypeId::kInt64));
+  s.AddColumn(Column("hits", TypeId::kInt64));
+  s.AddColumn(Column("est_cost", TypeId::kDouble));
+  s.AddColumn(Column("est_rows", TypeId::kDouble));
+  s.AddColumn(Column("plan_root", TypeId::kString));
   return s;
 }
 
@@ -77,7 +92,8 @@ std::vector<Tuple> QueryLogRows(const QueryHistoryStore* history) {
   std::vector<Tuple> rows;
   if (history == nullptr) return rows;
   for (const QueryRecord& r : history->Snapshot()) {
-    rows.push_back(Tuple({Value::Int(ToI64(r.id)), Value::String(r.verb), Value::String(r.status),
+    rows.push_back(Tuple({Value::Int(ToI64(r.id)), Value::Int(ToI64(r.session_id)),
+                          Value::String(r.verb), Value::String(r.status),
                           Value::String(r.error), Value::String(r.sql),
                           Value::Int(ToI64(r.wall_micros)), Value::Int(ToI64(r.opt_micros)),
                           Value::Int(ToI64(r.exec_micros)), Value::Int(ToI64(r.rows_returned)),
@@ -86,7 +102,18 @@ std::vector<Tuple> QueryLogRows(const QueryHistoryStore* history) {
                           Value::Int(ToI64(r.pool_misses)),
                           Value::Int(static_cast<int64_t>(r.parallelism)),
                           Value::Int(static_cast<int64_t>(r.batch_size)),
-                          Value::Bool(r.vectorized)}));
+                          Value::Bool(r.vectorized), Value::Bool(r.plan_cache_hit)}));
+  }
+  return rows;
+}
+
+std::vector<Tuple> PlanCacheRows(const PlanCache* plan_cache) {
+  std::vector<Tuple> rows;
+  if (plan_cache == nullptr) return rows;
+  for (const PlanCache::EntryInfo& e : plan_cache->Snapshot()) {
+    rows.push_back(Tuple({Value::String(e.key), Value::Int(ToI64(e.catalog_version)),
+                          Value::Int(ToI64(e.hits)), Value::Double(e.est_cost),
+                          Value::Double(e.est_rows), Value::String(e.plan_root)}));
   }
   return rows;
 }
@@ -111,7 +138,8 @@ std::vector<Tuple> OperatorStatsRows(const QueryHistoryStore* history) {
 
 bool IsTableFunction(const std::string& name) {
   std::string lower = ToLower(name);
-  return lower == kMetricsFn || lower == kQueryLogFn || lower == kOperatorStatsFn;
+  return lower == kMetricsFn || lower == kQueryLogFn || lower == kOperatorStatsFn ||
+         lower == kPlanCacheFn;
 }
 
 Result<Schema> TableFunctionSchema(const std::string& name, const std::string& alias) {
@@ -123,6 +151,8 @@ Result<Schema> TableFunctionSchema(const std::string& name, const std::string& a
     s = QueryLogSchema();
   } else if (lower == kOperatorStatsFn) {
     s = OperatorStatsSchema();
+  } else if (lower == kPlanCacheFn) {
+    s = PlanCacheSchema();
   } else {
     return Status::NotFound("unknown table function '" + name + "'");
   }
@@ -131,7 +161,8 @@ Result<Schema> TableFunctionSchema(const std::string& name, const std::string& a
 
 Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
                                              const MetricsRegistry* metrics,
-                                             const QueryHistoryStore* history) {
+                                             const QueryHistoryStore* history,
+                                             const PlanCache* plan_cache) {
   std::string lower = ToLower(name);
   if (lower == kMetricsFn) {
     if (metrics == nullptr) return Status::Internal("no metrics registry in execution context");
@@ -139,6 +170,7 @@ Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
   }
   if (lower == kQueryLogFn) return QueryLogRows(history);
   if (lower == kOperatorStatsFn) return OperatorStatsRows(history);
+  if (lower == kPlanCacheFn) return PlanCacheRows(plan_cache);
   return Status::NotFound("unknown table function '" + name + "'");
 }
 

@@ -22,6 +22,7 @@ namespace relopt {
 class Executor;
 class MetricsRegistry;
 class PhysicalNode;
+class PlanCache;
 class QueryHistoryStore;
 class ThreadPool;
 
@@ -105,12 +106,15 @@ class ExecContext {
   /// Installs the snapshot sources the introspection table functions read.
   /// Null pointers are allowed (the functions then error or return no rows);
   /// the Database facade wires both before building executors.
-  void set_introspection(const MetricsRegistry* metrics, const QueryHistoryStore* history) {
+  void set_introspection(const MetricsRegistry* metrics, const QueryHistoryStore* history,
+                         const PlanCache* plan_cache = nullptr) {
     metrics_registry_ = metrics;
     query_history_ = history;
+    plan_cache_ = plan_cache;
   }
   const MetricsRegistry* metrics_registry() const { return metrics_registry_; }
   const QueryHistoryStore* query_history() const { return query_history_; }
+  const PlanCache* plan_cache() const { return plan_cache_; }
 
   // --- per-operator I/O attribution ---------------------------------------
 
@@ -169,6 +173,7 @@ class ExecContext {
   uint64_t epoch_nanos_ = 0;
   const MetricsRegistry* metrics_registry_ = nullptr;
   const QueryHistoryStore* query_history_ = nullptr;
+  const PlanCache* plan_cache_ = nullptr;
 };
 
 /// RAII attribution frame: the enclosed I/O is charged to `stats`; nested

@@ -48,9 +48,16 @@ Status GatherExecutor::InitImpl() {
     worker_status_.assign(workers_.size(), Status::OK());
     running_workers_ = workers_.size();
   }
+  // Worker loops coordinate with barriers (parallel build phases), so they
+  // must all run concurrently. Gang admission blocks this coordinator — a
+  // session thread, never a pool thread — until the pool can run the whole
+  // set, so two sessions' gangs never interleave in the queue and deadlock.
+  std::vector<std::function<void()>> gang;
+  gang.reserve(workers_.size());
   for (size_t i = 0; i < workers_.size(); ++i) {
-    pool->Submit([this, i] { WorkerMain(i); });
+    gang.push_back([this, i] { WorkerMain(i); });
   }
+  pool->SubmitGang(std::move(gang));
   return Status::OK();
 }
 

@@ -127,6 +127,18 @@ uint64_t PlanProfile::TotalPageWrites() const {
   return total;
 }
 
+uint64_t PlanProfile::TotalPoolHits() const {
+  uint64_t total = 0;
+  ForEach(root, [&](const OperatorProfile& p) { total += p.stats.pool_hits; });
+  return total;
+}
+
+uint64_t PlanProfile::TotalPoolMisses() const {
+  uint64_t total = 0;
+  ForEach(root, [&](const OperatorProfile& p) { total += p.stats.pool_misses; });
+  return total;
+}
+
 size_t PlanProfile::NumOperators() const {
   size_t n = 0;
   ForEach(root, [&](const OperatorProfile&) { ++n; });

@@ -51,6 +51,10 @@ struct PlanProfile {
   uint64_t TotalPageReads() const;
   /// Sum of self-attributed page writes over all operators.
   uint64_t TotalPageWrites() const;
+  /// Sum of self-attributed buffer-pool hits over all operators.
+  uint64_t TotalPoolHits() const;
+  /// Sum of self-attributed buffer-pool misses over all operators.
+  uint64_t TotalPoolMisses() const;
   /// Number of operators in the tree.
   size_t NumOperators() const;
 };

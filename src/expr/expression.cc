@@ -453,6 +453,40 @@ void AggregateCallExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* ou
   if (arg_) arg_->CollectColumnRefsMutable(out);
 }
 
+// ---------------------------------------------------------- ParameterExpr --
+
+Result<Value> ParameterExpr::Eval(const Tuple& tuple) const {
+  (void)tuple;
+  return Status::InvalidArgument("unbound parameter $" + std::to_string(ordinal_ + 1) +
+                                 "; prepare the statement and supply values");
+}
+
+Status ParameterExpr::Bind(const Schema& schema) {
+  (void)schema;
+  return Status::InvalidArgument("statement has unbound parameters; prepare it and supply " +
+                                 std::to_string(ordinal_ + 1) + " value(s)");
+}
+
+ExprPtr ParameterExpr::Clone() const { return std::make_unique<ParameterExpr>(ordinal_); }
+
+std::string ParameterExpr::ToString() const { return "?"; }
+
+void ParameterExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  (void)out;
+}
+void ParameterExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) { (void)out; }
+
+void CollectParameterSlots(ExprPtr* root, std::vector<ExprPtr*>* out) {
+  if (*root == nullptr) return;
+  if ((*root)->kind() == ExprKind::kParameter) {
+    out->push_back(root);
+    return;
+  }
+  std::vector<ExprPtr*> children;
+  (*root)->ChildSlots(&children);
+  for (ExprPtr* child : children) CollectParameterSlots(child, out);
+}
+
 // ---------------------------------------------------------------- Helpers --
 
 ExprPtr MakeLiteral(Value v) { return std::make_unique<LiteralExpr>(std::move(v)); }

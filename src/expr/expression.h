@@ -27,6 +27,7 @@ enum class ExprKind {
   kArithmetic,
   kIsNull,
   kAggregateCall,
+  kParameter,
 };
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -71,6 +72,11 @@ class Expression {
   /// Appends every column reference in the tree (pre-order).
   virtual void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const = 0;
   virtual void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) = 0;
+
+  /// Appends the owning slots of this node's direct children. Tree rewrites
+  /// that replace whole nodes (prepared-statement parameter substitution)
+  /// walk these slots; the default is a leaf with no children.
+  virtual void ChildSlots(std::vector<std::unique_ptr<Expression>*>* out) { (void)out; }
 
   /// Qualifiers (table names/aliases) referenced by this expression.
   std::set<std::string> ReferencedTables() const;
@@ -152,6 +158,10 @@ class ComparisonExpr : public Expression {
   std::string ToString() const override;
   void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
   void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override {
+    out->push_back(&left_);
+    out->push_back(&right_);
+  }
 
  private:
   CompareOp op_;
@@ -178,6 +188,9 @@ class LogicalExpr : public Expression {
   std::string ToString() const override;
   void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
   void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override {
+    for (ExprPtr& child : children_) out->push_back(&child);
+  }
 
  private:
   LogicalOp op_;
@@ -204,6 +217,10 @@ class ArithmeticExpr : public Expression {
   std::string ToString() const override;
   void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
   void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override {
+    out->push_back(&left_);
+    out->push_back(&right_);
+  }
 
  private:
   ArithOp op_;
@@ -228,6 +245,7 @@ class IsNullExpr : public Expression {
   std::string ToString() const override;
   void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
   void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override { out->push_back(&child_); }
 
  private:
   ExprPtr child_;
@@ -252,11 +270,42 @@ class AggregateCallExpr : public Expression {
   std::string ToString() const override;
   void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
   void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override {
+    if (arg_ != nullptr) out->push_back(&arg_);
+  }
 
  private:
   AggFunc func_;
   ExprPtr arg_;
 };
+
+/// Positional `?` placeholder in a prepared statement (0-based ordinal in
+/// source order). Never survives to binding: Session::Prepare records the
+/// template and parameter binding replaces every ParameterExpr with a
+/// LiteralExpr before the binder runs, so Bind/Eval on one is an error (an
+/// un-prepared statement containing `?` fails cleanly at bind time).
+class ParameterExpr : public Expression {
+ public:
+  explicit ParameterExpr(size_t ordinal)
+      : Expression(ExprKind::kParameter), ordinal_(ordinal) {}
+
+  size_t ordinal() const { return ordinal_; }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+
+ private:
+  size_t ordinal_;
+};
+
+/// Appends the owning slots of every ParameterExpr under `*root` (including
+/// `root` itself), in source order. The slots stay valid while the tree is
+/// alive; assigning a new expression through a slot replaces the parameter.
+void CollectParameterSlots(ExprPtr* root, std::vector<ExprPtr*>* out);
 
 /// Convenience constructors.
 ExprPtr MakeLiteral(Value v);

@@ -14,6 +14,7 @@ namespace relopt {
 enum class StatementKind {
   kCreateTable,
   kCreateIndex,
+  kDropTable,
   kInsert,
   kSelect,
   kExplain,
@@ -28,6 +29,9 @@ struct Statement {
   virtual ~Statement() = default;
   StatementKind kind;
   std::string text;  ///< this statement's source text (query-history records)
+  /// Number of `?` parameter placeholders (positional, in source order).
+  /// Non-zero only for statements prepared through Session::Prepare.
+  size_t num_parameters = 0;
 };
 
 using StatementPtr = std::unique_ptr<Statement>;
@@ -49,6 +53,12 @@ struct CreateIndexStmt : Statement {
   std::string table_name;
   std::vector<std::string> columns;
   bool clustered = false;
+};
+
+struct DropTableStmt : Statement {
+  DropTableStmt() : Statement(StatementKind::kDropTable) {}
+  std::string table_name;
+  bool if_exists = false;
 };
 
 struct InsertStmt : Statement {

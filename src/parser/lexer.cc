@@ -120,7 +120,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       tok.text = ">=";
       i += 2;
     } else {
-      static const std::string kSingles = "=<>(),;.*+-/%";
+      static const std::string kSingles = "=<>(),;.*+-/%?";
       if (kSingles.find(c) == std::string::npos) {
         return Status::ParseError(std::string("unexpected character '") + c + "' at offset " +
                                   std::to_string(i));

@@ -14,7 +14,7 @@ enum class TokenKind {
   kIntLiteral,   // 42
   kDoubleLiteral,  // 3.5, 1e-3
   kStringLiteral,  // 'abc' (quotes stripped, '' unescaped)
-  kSymbol,       // punctuation/operator, text holds it: = <> < <= > >= ( ) , ; . * + - / %
+  kSymbol,       // punctuation/operator, text holds it: = <> < <= > >= ( ) , ; . * + - / % ?
   kEnd,
 };
 

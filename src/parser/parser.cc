@@ -30,8 +30,16 @@ class Parser {
   }
 
   Result<StatementPtr> ParseOne() {
+    param_count_ = 0;
+    RELOPT_ASSIGN_OR_RETURN(StatementPtr stmt, ParseOneDispatch());
+    stmt->num_parameters = param_count_;
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseOneDispatch() {
     const Token& t = Peek();
     if (t.IsWord("create")) return ParseCreate();
+    if (t.IsWord("drop")) return ParseDrop();
     if (t.IsWord("insert")) return ParseInsert();
     if (t.IsWord("select")) return ParseSelect();
     if (t.IsWord("explain")) return ParseExplain();
@@ -140,6 +148,19 @@ class Parser {
       return StatementPtr(std::move(stmt));
     }
     return Error("expected TABLE or INDEX after CREATE");
+  }
+
+  Result<StatementPtr> ParseDrop() {
+    RELOPT_RETURN_NOT_OK(ExpectWord("drop"));
+    RELOPT_RETURN_NOT_OK(ExpectWord("table"));
+    auto stmt = std::make_unique<DropTableStmt>();
+    if (Peek().IsWord("if") && Peek(1).IsWord("exists")) {
+      Advance();
+      Advance();
+      stmt->if_exists = true;
+    }
+    RELOPT_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier("table name"));
+    return StatementPtr(std::move(stmt));
   }
 
   Result<StatementPtr> ParseInsert() {
@@ -486,6 +507,11 @@ class Parser {
       Advance();
       return MakeLiteral(Value::String(t.text));
     }
+    if (t.IsSymbol("?")) {
+      // Positional prepared-statement parameter, numbered in source order.
+      Advance();
+      return ExprPtr(std::make_unique<ParameterExpr>(param_count_++));
+    }
     if (t.IsSymbol("(")) {
       Advance();
       RELOPT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
@@ -542,6 +568,7 @@ class Parser {
   std::string sql_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  size_t param_count_ = 0;  ///< `?` placeholders seen in the current statement
 };
 
 }  // namespace

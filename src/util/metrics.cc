@@ -321,6 +321,11 @@ const EngineMetrics& EngineMetrics::Get() {
     m.optimizer_plans_kept = r.counter("relopt.optimizer.plans_kept");
     m.optimizer_plan_cache_hits = r.counter("relopt.optimizer.plan_cache.hits");
     m.optimizer_plan_cache_misses = r.counter("relopt.optimizer.plan_cache.misses");
+    m.optimizer_plan_cache_evictions = r.counter("relopt.optimizer.plan_cache.evictions");
+    m.optimizer_plan_cache_invalidations = r.counter("relopt.optimizer.plan_cache.invalidations");
+    m.engine_sessions_opened = r.counter("relopt.engine.sessions_opened");
+    m.engine_statements_prepared = r.counter("relopt.engine.statements_prepared");
+    m.engine_prepared_executions = r.counter("relopt.engine.prepared_executions");
     m.optimizer_optimize_us =
         r.histogram("relopt.optimizer.optimize_us", MetricHistogram::LatencyBucketsUs());
     m.exec_rows_produced = r.counter("relopt.exec.rows_produced");

@@ -186,8 +186,14 @@ struct EngineMetrics {
   MetricCounter* optimizer_optimizations;
   MetricCounter* optimizer_joins_costed;
   MetricCounter* optimizer_plans_kept;
-  MetricCounter* optimizer_plan_cache_hits;    ///< hook for the serving layer
-  MetricCounter* optimizer_plan_cache_misses;  ///< hook for the serving layer
+  MetricCounter* optimizer_plan_cache_hits;
+  MetricCounter* optimizer_plan_cache_misses;
+  MetricCounter* optimizer_plan_cache_evictions;
+  MetricCounter* optimizer_plan_cache_invalidations;
+  // serving layer
+  MetricCounter* engine_sessions_opened;
+  MetricCounter* engine_statements_prepared;
+  MetricCounter* engine_prepared_executions;
   MetricHistogram* optimizer_optimize_us;
   // executor / engine
   MetricCounter* exec_rows_produced;

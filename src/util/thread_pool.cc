@@ -6,7 +6,7 @@
 
 namespace relopt {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads) : uncommitted_threads_(num_threads) {
   RELOPT_DCHECK(num_threads >= 1);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -32,6 +32,42 @@ void ThreadPool::Submit(std::function<void()> task) {
   m.threadpool_tasks_queued->Add(1);
   m.threadpool_queue_depth->Add(1);
   cv_.notify_one();
+}
+
+void ThreadPool::SubmitGang(std::vector<std::function<void()>> tasks) {
+  const size_t k = tasks.size();
+  if (k == 0) return;
+  RELOPT_DCHECK(k <= threads_.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // All-or-nothing admission: wait until k threads are free of gang
+    // commitments, then reserve them and enqueue the gang contiguously under
+    // the same lock, so no other gang can interleave with it. Wakeups are not
+    // FIFO — a smaller gang may overtake a larger waiting one — but every
+    // admitted gang finishes independently, so every waiter is admitted
+    // eventually.
+    gang_cv_.wait(lock, [&] { return stop_ || uncommitted_threads_ >= k; });
+    // On shutdown the wait releases unconditionally; skip the reservation
+    // bookkeeping (the destructor still drains the queue).
+    const bool reserved = uncommitted_threads_ >= k;
+    if (reserved) uncommitted_threads_ -= k;
+    for (std::function<void()>& task : tasks) {
+      tasks_.push_back([this, reserved, task = std::move(task)]() mutable {
+        task();
+        if (reserved) {
+          {
+            std::lock_guard<std::mutex> inner(mu_);
+            ++uncommitted_threads_;
+          }
+          gang_cv_.notify_all();
+        }
+      });
+    }
+  }
+  const EngineMetrics& m = EngineMetrics::Get();
+  m.threadpool_tasks_queued->Add(k);
+  m.threadpool_queue_depth->Add(k);
+  cv_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {

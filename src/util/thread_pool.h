@@ -15,9 +15,13 @@ namespace relopt {
 /// \brief A fixed set of worker threads draining a FIFO task queue.
 ///
 /// Tasks must not block waiting for *other tasks that have not started yet*:
-/// the pool runs at most `num_threads` tasks concurrently, so a morsel-driven
-/// pipeline submits exactly `num_threads` worker loops and coordinates them
-/// with Barrier (every worker is running before any barrier is reached).
+/// the pool runs at most `num_threads` tasks concurrently. A morsel-driven
+/// pipeline's worker loops coordinate with Barrier, so they must all run
+/// concurrently — submit them through SubmitGang, which admits the whole set
+/// only once enough threads are uncommitted to run it. With concurrent
+/// sessions, plain Submit would interleave two queries' barrier-coordinated
+/// loops in the queue (A's worker blocked at a barrier while its sibling sits
+/// queued behind B's equally blocked worker) and deadlock the pool.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -28,8 +32,18 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// Enqueues `task` for execution on some worker thread.
+  /// Enqueues `task` for execution on some worker thread. The task must
+  /// terminate without waiting on any not-yet-started task.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a set of tasks that may block waiting on each other (e.g. via
+  /// Barrier), guaranteeing they all run concurrently: blocks the caller
+  /// until `tasks.size()` pool threads are not committed to another gang,
+  /// reserves them, then enqueues the whole gang atomically. Admission is
+  /// all-or-nothing, so two gangs never interleave. Requires tasks.size() <=
+  /// num_threads(); must not be called from inside a gang task (a gang that
+  /// waits for its own child gang can self-deadlock).
+  void SubmitGang(std::vector<std::function<void()>> tasks);
 
  private:
   void WorkerLoop();
@@ -38,6 +52,11 @@ class ThreadPool {
   std::deque<std::function<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
+  /// Threads not reserved for a gang currently admitted (running or queued).
+  /// Plain Submit tasks don't reserve: they may delay a gang's start, but
+  /// they terminate independently, so the gang still reaches concurrency.
+  size_t uncommitted_threads_;
+  std::condition_variable gang_cv_;
   bool stop_ = false;
 };
 

@@ -1,0 +1,187 @@
+#include "workload/serving.h"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+
+#include "engine/session.h"
+#include "util/timer.h"
+
+namespace relopt {
+
+namespace {
+
+/// Order-independent row digest: per-row hashes are summed (mod 2^64), so
+/// the total is invariant under row order, query order, and thread
+/// interleaving — but any changed cell changes the sum.
+uint64_t ResultChecksum(const QueryResult& result) {
+  uint64_t sum = 0;
+  std::hash<std::string> hasher;
+  for (const Tuple& row : result.rows) {
+    std::string rendered;
+    for (size_t i = 0; i < row.NumValues(); ++i) {
+      rendered += row.At(i).ToString();
+      rendered += '|';
+    }
+    sum += hasher(rendered);
+  }
+  return sum;
+}
+
+/// Renders `sql`'s `?` placeholders with the given integer values, for the
+/// non-prepared (plain Execute) drive mode.
+std::string RenderTemplate(const std::string& sql, const std::vector<int64_t>& params) {
+  std::string out;
+  out.reserve(sql.size() + params.size() * 8);
+  size_t next = 0;
+  for (char c : sql) {
+    if (c == '?' && next < params.size()) {
+      out += std::to_string(params[next++]);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+struct ThreadResult {
+  std::vector<uint64_t> latencies_nanos;
+  uint64_t checksum = 0;
+  uint64_t errors = 0;
+};
+
+}  // namespace
+
+std::vector<ServingQueryTemplate> DefaultServingMix() {
+  // Domains are deliberately small (~100 distinct parameter combinations in
+  // total): a serving workload's hot statements repeat, and the whole
+  // working set must fit the 128-entry plan cache for the cache-on/off A/B
+  // to measure steady-state hits rather than LRU thrash.
+  return {
+      {"SELECT id, name, salary FROM emp WHERE id = ?", {{0, 19}}},
+      // The optimizer-heavy shape: three-way join enumeration is the work a
+      // cache hit saves, while the point predicates keep execution cheap.
+      {"SELECT e.name, d.dname, e2.name FROM emp e, dept d, emp e2 "
+       "WHERE e.dept_id = d.id AND e2.dept_id = d.id AND e.id = ? AND e2.id = ?",
+       {{0, 4}, {5, 9}}},
+      {"SELECT id, salary FROM emp WHERE salary > ? AND salary < ?",
+       {{2000, 2004}, {4000, 4003}}},
+      {"SELECT count(*) FROM emp WHERE dept_id = ?", {{0, 19}}},
+      {"SELECT emp.name, dept.dname FROM emp, dept "
+       "WHERE emp.dept_id = dept.id AND emp.salary > ?",
+       {{3000, 3009}}},
+      {"SELECT dept_id, count(*), sum(salary) FROM emp WHERE salary > ? GROUP BY dept_id",
+       {{2500, 2509}}},
+  };
+}
+
+Status LoadServingFixture(Database* db, int emp_rows, int dept_rows) {
+  RELOPT_RETURN_NOT_OK(
+      db->Execute("CREATE TABLE emp (id INT, name TEXT, dept_id INT, salary INT)").status());
+  RELOPT_RETURN_NOT_OK(db->Execute("CREATE TABLE dept (id INT, dname TEXT)").status());
+  std::string insert = "INSERT INTO emp VALUES ";
+  for (int i = 0; i < emp_rows; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", 'e" + std::to_string(i) + "', " +
+              std::to_string(i % dept_rows) + ", " + std::to_string(1000 + (i * 37) % 5000) + ")";
+  }
+  RELOPT_RETURN_NOT_OK(db->Execute(insert).status());
+  std::string insert_dept = "INSERT INTO dept VALUES ";
+  for (int i = 0; i < dept_rows; ++i) {
+    if (i > 0) insert_dept += ", ";
+    insert_dept += "(" + std::to_string(i) + ", 'd" + std::to_string(i) + "')";
+  }
+  RELOPT_RETURN_NOT_OK(db->Execute(insert_dept).status());
+  return db->Execute("ANALYZE").status();
+}
+
+Result<ServingWorkloadResult> RunServingWorkload(Database* db,
+                                                 const std::vector<ServingQueryTemplate>& mix,
+                                                 const ServingWorkloadOptions& options) {
+  if (mix.empty()) return Status::InvalidArgument("empty workload mix");
+  const size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+
+  // Open sessions and prepare statements up front, so the measured window is
+  // pure query execution.
+  std::vector<Session*> sessions;
+  std::vector<std::vector<PreparedStatement*>> prepared(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    Session* session = db->CreateSession();
+    sessions.push_back(session);
+    if (options.use_prepared) {
+      for (const ServingQueryTemplate& tmpl : mix) {
+        RELOPT_ASSIGN_OR_RETURN(PreparedStatement * stmt, session->Prepare(tmpl.sql));
+        prepared[t].push_back(stmt);
+      }
+    }
+  }
+
+  const PlanCache::Stats cache_before = db->plan_cache()->stats();
+  std::vector<ThreadResult> per_thread(threads);
+  const uint64_t wall_start = MonotonicNanos();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Session* session = sessions[t];
+      ThreadResult& out = per_thread[t];
+      out.latencies_nanos.reserve(options.queries_per_thread);
+      for (size_t i = 0; i < options.queries_per_thread; ++i) {
+        // Seed per (thread, query): the statement sequence is a pure
+        // function of the options, never of scheduling.
+        std::mt19937_64 rng(options.seed * 1000003 + t * 131071 + i);
+        const ServingQueryTemplate& tmpl = mix[rng() % mix.size()];
+        std::vector<int64_t> ints;
+        for (const auto& [lo, hi] : tmpl.param_domains) {
+          ints.push_back(lo + static_cast<int64_t>(rng() % static_cast<uint64_t>(hi - lo + 1)));
+        }
+        const uint64_t start = MonotonicNanos();
+        Result<QueryResult> result = Status::OK();
+        if (options.use_prepared) {
+          std::vector<Value> params;
+          for (int64_t v : ints) params.push_back(Value::Int(v));
+          size_t tmpl_index = &tmpl - mix.data();
+          result = prepared[t][tmpl_index]->Execute(params);
+        } else {
+          result = session->Execute(RenderTemplate(tmpl.sql, ints));
+        }
+        out.latencies_nanos.push_back(MonotonicNanos() - start);
+        if (result.ok()) {
+          out.checksum += ResultChecksum(*result);
+        } else {
+          ++out.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const uint64_t wall_nanos = MonotonicNanos() - wall_start;
+  const PlanCache::Stats cache_after = db->plan_cache()->stats();
+
+  ServingWorkloadResult result;
+  result.total_queries = threads * options.queries_per_thread;
+  std::vector<uint64_t> latencies;
+  latencies.reserve(result.total_queries);
+  for (const ThreadResult& tr : per_thread) {
+    result.errors += tr.errors;
+    result.result_checksum += tr.checksum;
+    latencies.insert(latencies.end(), tr.latencies_nanos.begin(), tr.latencies_nanos.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&](double q) -> double {
+    if (latencies.empty()) return 0;
+    size_t idx = static_cast<size_t>(q * static_cast<double>(latencies.size() - 1));
+    return static_cast<double>(latencies[idx]) / 1000.0;
+  };
+  result.p50_micros = percentile(0.50);
+  result.p99_micros = percentile(0.99);
+  result.wall_seconds = static_cast<double>(wall_nanos) / 1e9;
+  result.queries_per_second =
+      result.wall_seconds > 0 ? static_cast<double>(result.total_queries) / result.wall_seconds : 0;
+  result.cache_hits = cache_after.hits - cache_before.hits;
+  result.cache_misses = cache_after.misses - cache_before.misses;
+  return result;
+}
+
+}  // namespace relopt

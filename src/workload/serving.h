@@ -1,0 +1,73 @@
+// Multi-session serving workload harness.
+//
+// Drives one shared Database from N client threads, each with its own
+// Session, over a mixed template workload with `?` parameters drawn from
+// small deterministic domains (so plan-cache keys repeat). Reports
+// throughput (queries/sec), latency percentiles, error counts, plan-cache
+// hit/miss deltas, and an order-independent checksum of every result row —
+// the checksum is invariant under thread interleaving, so cache-on and
+// cache-off runs of the same workload must produce the same value.
+//
+// Determinism: the template choice and parameter values for query i of
+// thread t depend only on (options.seed, t, i), never on scheduling, so two
+// runs execute exactly the same bag of statements.
+//
+// Used by bench/bench_serving.cc (throughput A/B, smoke-checked in CI) and
+// by the concurrency tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace relopt {
+
+/// One workload query shape: SQL with `?` placeholders and an inclusive
+/// integer domain per parameter.
+struct ServingQueryTemplate {
+  std::string sql;
+  std::vector<std::pair<int64_t, int64_t>> param_domains;
+};
+
+struct ServingWorkloadOptions {
+  size_t num_threads = 4;         ///< client sessions driven concurrently
+  size_t queries_per_thread = 200;
+  /// true: Prepare once per template per session, execute with bound values.
+  /// false: render literals into the SQL text and go through Session::Execute.
+  bool use_prepared = true;
+  uint64_t seed = 42;
+};
+
+struct ServingWorkloadResult {
+  uint64_t total_queries = 0;
+  uint64_t errors = 0;
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+  double p50_micros = 0;
+  double p99_micros = 0;
+  /// Order-independent checksum over every result row of every query.
+  uint64_t result_checksum = 0;
+  /// Plan-cache counter deltas over the run (this Database's cache).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// The default mix over the emp/dept fixture: point and range filters,
+/// 2-way and 3-way joins, and grouped aggregates — a few shapes repeated
+/// with varying parameters, like a serving workload.
+std::vector<ServingQueryTemplate> DefaultServingMix();
+
+/// Loads the fixture DefaultServingMix() queries run against:
+///   emp(id, name, dept_id, salary), dept(id, dname)
+/// with stats analyzed. Same data layout as the test fixtures.
+Status LoadServingFixture(Database* db, int emp_rows = 1000, int dept_rows = 20);
+
+/// Runs the workload: N threads x queries_per_thread over `mix`.
+/// The Database must already hold the tables the mix references.
+Result<ServingWorkloadResult> RunServingWorkload(Database* db,
+                                                 const std::vector<ServingQueryTemplate>& mix,
+                                                 const ServingWorkloadOptions& options);
+
+}  // namespace relopt

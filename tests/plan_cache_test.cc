@@ -1,0 +1,219 @@
+// Plan-cache correctness: hits return the cached plan (no re-optimization)
+// with identical results; DDL, ANALYZE, and catalog-version changes
+// invalidate; the LRU evicts at capacity; and a cached plan never outlives
+// the table it scans.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/plan_cache.h"
+#include "engine/session.h"
+#include "test_util.h"
+#include "util/metrics.h"
+
+namespace relopt {
+namespace {
+
+using tu::IntCell;
+using tu::LoadEmpDept;
+using tu::Sql;
+
+std::vector<std::string> RenderedRows(const QueryResult& result) {
+  std::vector<std::string> rows;
+  for (const Tuple& row : result.rows) {
+    std::string s;
+    for (size_t i = 0; i < row.NumValues(); ++i) {
+      s += row.At(i).ToString();
+      s += '|';
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(PlanCacheKeyTest, NormalizesWhitespaceAndCasePreservingLiterals) {
+  OptimizerOptions options;
+  EXPECT_EQ(PlanCacheKey("SELECT  *   FROM emp", options),
+            PlanCacheKey("select * from emp", options));
+  // Distinct literals are distinct plans: constant folding and selectivity
+  // estimation both depend on the value.
+  EXPECT_NE(PlanCacheKey("SELECT * FROM emp WHERE id = 1", options),
+            PlanCacheKey("SELECT * FROM emp WHERE id = 2", options));
+  // String literals keep their case even though keywords are lowered.
+  EXPECT_NE(PlanCacheKey("SELECT * FROM emp WHERE name = 'Ann'", options),
+            PlanCacheKey("SELECT * FROM emp WHERE name = 'ann'", options));
+  // Optimizer options that change plan choice change the key.
+  OptimizerOptions no_hash = options;
+  no_hash.join.enable_hash = false;
+  EXPECT_NE(PlanCacheKey("SELECT * FROM emp", options),
+            PlanCacheKey("SELECT * FROM emp", no_hash));
+}
+
+// The acceptance criterion for the serving layer: the second execution of an
+// identical SELECT is served from the cache and performs ZERO optimizer
+// work — the global optimization counter must not move — while returning
+// bag-identical rows.
+TEST(PlanCacheTest, HitSkipsOptimizationEntirely) {
+  Database db;
+  LoadEmpDept(&db);
+  const std::string sql = "SELECT dept_id, count(*) FROM emp WHERE salary > 2000 GROUP BY dept_id";
+
+  QueryResult first = Sql(&db, sql);
+  EXPECT_FALSE(db.last_metrics().plan_cache_hit);
+  const uint64_t optimizations_before = EngineMetrics::Get().optimizer_optimizations->value();
+  const uint64_t hits_before = db.plan_cache()->stats().hits;
+
+  QueryResult second = Sql(&db, sql);
+  EXPECT_TRUE(db.last_metrics().plan_cache_hit);
+  EXPECT_EQ(db.last_metrics().opt_nanos, 0u);
+  EXPECT_EQ(EngineMetrics::Get().optimizer_optimizations->value(), optimizations_before)
+      << "cache hit must not re-run the optimizer";
+  EXPECT_EQ(db.plan_cache()->stats().hits, hits_before + 1);
+  EXPECT_EQ(RenderedRows(first), RenderedRows(second));
+}
+
+TEST(PlanCacheTest, HitServesTheSamePlan) {
+  Database db;
+  LoadEmpDept(&db);
+  const std::string sql =
+      "SELECT emp.name, dept.dname FROM emp, dept WHERE emp.dept_id = dept.id AND emp.id < 25";
+  Sql(&db, sql);
+  ASSERT_TRUE(db.last_profile().valid);
+  const std::string first_plan = db.last_profile().root.describe;
+  Sql(&db, sql);
+  EXPECT_TRUE(db.last_metrics().plan_cache_hit);
+  EXPECT_EQ(db.last_profile().root.describe, first_plan);
+
+  // The entry's per-entry hit counter is visible through the snapshot.
+  bool found = false;
+  for (const PlanCache::EntryInfo& e : db.plan_cache()->Snapshot()) {
+    if (e.key.find("emp.dept_id = dept.id") != std::string::npos ||
+        e.key.find("dept_id = dept.id") != std::string::npos) {
+      found = true;
+      EXPECT_GE(e.hits, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlanCacheTest, DdlAndAnalyzeInvalidate) {
+  Database db;
+  LoadEmpDept(&db);
+  const std::string sql = "SELECT count(*) FROM emp WHERE salary > 3000";
+
+  for (const char* ddl : {"CREATE TABLE other1 (x INT)", "ANALYZE", "DROP TABLE other1",
+                          "CREATE INDEX other_idx ON emp (id)"}) {
+    Sql(&db, sql);  // populate (or repopulate) the entry
+    Sql(&db, sql);
+    ASSERT_TRUE(db.last_metrics().plan_cache_hit) << ddl;
+    const uint64_t invalidations_before = db.plan_cache()->stats().invalidations;
+    Sql(&db, ddl);
+    EXPECT_GT(db.plan_cache()->stats().invalidations, invalidations_before)
+        << ddl << " must invalidate cached plans";
+    Sql(&db, sql);
+    EXPECT_FALSE(db.last_metrics().plan_cache_hit) << "stale plan served after " << ddl;
+  }
+}
+
+TEST(PlanCacheTest, CachedPlanNeverOutlivesDroppedTable) {
+  Database db;
+  Sql(&db, "CREATE TABLE t (a INT, b INT)");
+  Sql(&db, "INSERT INTO t VALUES (1, 10), (2, 20)");
+  EXPECT_EQ(IntCell(Sql(&db, "SELECT count(*) FROM t")), 2);
+
+  Sql(&db, "DROP TABLE t");
+  Result<QueryResult> gone = db.Execute("SELECT count(*) FROM t");
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(db.plan_cache()->size(), 0u) << "drop must leave no plan over t";
+
+  // Re-creating the table with a different shape must plan fresh against the
+  // new schema, not resurrect anything.
+  Sql(&db, "CREATE TABLE t (a INT, b INT, c INT)");
+  Sql(&db, "INSERT INTO t VALUES (1, 10, 100), (2, 20, 200), (3, 30, 300)");
+  QueryResult result = Sql(&db, "SELECT count(*) FROM t");
+  EXPECT_FALSE(db.last_metrics().plan_cache_hit);
+  EXPECT_EQ(IntCell(result), 3);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestAndHitsRefresh) {
+  PlanCache cache(/*capacity=*/2);
+  struct Dummy : PhysicalNode {
+    Dummy() : PhysicalNode(PhysicalNodeKind::kSeqScan, Schema()) {}
+    std::string Describe() const override { return "dummy"; }
+  };
+  auto make = [] { return std::shared_ptr<const PhysicalNode>(new Dummy()); };
+
+  cache.Insert("a", 1, make());
+  cache.Insert("b", 1, make());
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Touch "a" so it is most-recent; inserting "c" must evict "b".
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  cache.Insert("c", 1, make());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Lookup("a", 1), nullptr);
+  EXPECT_NE(cache.Lookup("c", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr) << "LRU entry must have been evicted";
+}
+
+TEST(PlanCacheTest, VersionMismatchDropsEntry) {
+  PlanCache cache(4);
+  struct Dummy : PhysicalNode {
+    Dummy() : PhysicalNode(PhysicalNodeKind::kSeqScan, Schema()) {}
+    std::string Describe() const override { return "dummy"; }
+  };
+  cache.Insert("k", /*catalog_version=*/1, std::shared_ptr<const PhysicalNode>(new Dummy()));
+  EXPECT_EQ(cache.Lookup("k", /*catalog_version=*/2), nullptr);
+  EXPECT_EQ(cache.size(), 0u) << "stale entry must be dropped, not retained";
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PlanCacheTest, DisabledCacheNeverHits) {
+  Database db;
+  LoadEmpDept(&db);
+  db.plan_cache()->set_enabled(false);
+  const std::string sql = "SELECT count(*) FROM emp";
+  Sql(&db, sql);
+  Sql(&db, sql);
+  EXPECT_FALSE(db.last_metrics().plan_cache_hit);
+  EXPECT_EQ(db.plan_cache()->size(), 0u);
+  db.plan_cache()->set_enabled(true);
+  Sql(&db, sql);  // miss, populates
+  Sql(&db, sql);
+  EXPECT_TRUE(db.last_metrics().plan_cache_hit);
+}
+
+TEST(PlanCacheTest, TraceModeBypassesCache) {
+  Database db;
+  LoadEmpDept(&db);
+  const std::string sql = "SELECT count(*) FROM emp WHERE id < 100";
+  Sql(&db, sql);
+  Sql(&db, sql);
+  ASSERT_TRUE(db.last_metrics().plan_cache_hit);
+
+  db.set_trace_optimizer(true);
+  Sql(&db, sql);
+  EXPECT_FALSE(db.last_metrics().plan_cache_hit) << "tracing must re-run the optimizer";
+  EXPECT_NE(db.last_trace(), nullptr);
+  db.set_trace_optimizer(false);
+}
+
+TEST(PlanCacheTest, TableFunctionExposesEntries) {
+  Database db;
+  LoadEmpDept(&db);
+  Sql(&db, "SELECT count(*) FROM emp");
+  QueryResult rows = Sql(&db, "SELECT key, hits FROM relopt_plan_cache()");
+  EXPECT_GE(rows.rows.size(), 1u);
+  bool found = false;
+  for (const Tuple& row : rows.rows) {
+    if (row.At(0).ToString().find("count(*) from emp") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "cached SELECT must appear in relopt_plan_cache()";
+}
+
+}  // namespace
+}  // namespace relopt

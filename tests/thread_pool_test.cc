@@ -5,7 +5,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace relopt {
@@ -76,6 +79,40 @@ TEST(ThreadPoolTest, BarrierIsReusableAcrossRounds) {
   cv.wait(lock, [&] { return finished == static_cast<int>(kN); });
   EXPECT_FALSE(torn.load());
   EXPECT_EQ(counter.load(), kRounds * static_cast<int>(kN));
+}
+
+TEST(ThreadPoolTest, ConcurrentGangsOfBarrierTasksNeverDeadlock) {
+  // Two coordinators race to run barrier-coordinated 2-task gangs on a pool
+  // of 2. With plain Submit the queues interleave (A1, B1 running and blocked
+  // at their barriers; A2, B2 queued behind them — deadlock); SubmitGang's
+  // all-or-nothing admission guarantees each gang runs alone and completes.
+  // This is the multi-session serving regression: concurrent parallel
+  // queries share one pool.
+  constexpr size_t kPoolThreads = 2;
+  constexpr int kRoundsPerCoordinator = 50;
+  ThreadPool pool(kPoolThreads);
+  std::atomic<int> completed{0};
+  auto coordinator = [&] {
+    for (int r = 0; r < kRoundsPerCoordinator; ++r) {
+      auto barrier = std::make_shared<Barrier>(kPoolThreads);
+      std::vector<std::function<void()>> gang;
+      for (size_t i = 0; i < kPoolThreads; ++i) {
+        gang.push_back([&, barrier] {
+          barrier->ArriveAndWait();  // hangs forever unless the gang is whole
+          completed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      pool.SubmitGang(std::move(gang));
+    }
+  };
+  std::thread a(coordinator);
+  std::thread b(coordinator);
+  a.join();
+  b.join();
+  // Coordinators return once their gangs are admitted, not completed.
+  const int expected = 2 * kRoundsPerCoordinator * static_cast<int>(kPoolThreads);
+  while (completed.load() < expected) std::this_thread::yield();
+  EXPECT_EQ(completed.load(), expected);
 }
 
 TEST(ThreadPoolTest, SubmitFromWorkerThreadDoesNotDeadlock) {
