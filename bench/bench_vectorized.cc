@@ -102,6 +102,13 @@ int main(int argc, char** argv) {
       {"selective_filter", "SELECT id FROM big WHERE k < 100"},
       {"hash_join", "SELECT big.id, dim.v FROM big, dim WHERE big.k = dim.id"},
       {"limit", "SELECT id FROM big LIMIT " + std::to_string(std::min<size_t>(1000, table_rows))},
+      // Expression-heavy section: deep trees through the compiled batch
+      // expression engine (CASE, OR-chains, expression group keys). The
+      // dedicated bench_expr binary covers the full expression corpus.
+      {"expr_case_or",
+       "SELECT id, CASE WHEN pad > 750000 THEN 3 WHEN pad > 500000 THEN 2 ELSE 1 END "
+       "FROM big WHERE k < 200 OR k > 800 OR pad % 97 = 0"},
+      {"expr_group_key", "SELECT k % 16, count(*), sum(pad) FROM big GROUP BY k % 16"},
   };
   const size_t kBatchSizes[] = {1, 64, 1024};
 

@@ -24,6 +24,13 @@ echo "== bench_vectorized smoke (asan) =="
 # RELOPT_BENCH_JSON_DIR dump paths, without benchmark-scale runtime.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_vectorized 2000
 
+echo "== bench_expr smoke (asan) =="
+# Tiny row count: drives the compiled batch expression engine (arithmetic,
+# CASE, OR-chains, NULL/string functions, expression sort and group keys)
+# under ASAN. The binary itself asserts zero fallback rows and identical
+# page reads / result rows between row and batch modes.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_expr 2000
+
 echo "== bench_aggregate smoke (asan) =="
 # Tiny row count: exercises the partitioned hash aggregation matrix (grouped
 # low/high cardinality + global, row/batch x parallelism 1/2/4) under ASAN.
@@ -59,6 +66,11 @@ echo "== bench_vectorized smoke (tsan) =="
 # The par2 block drives whole batches through Gather worker threads; TSan
 # checks the batch hand-off and the PageCursor shared-latch discipline.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_vectorized 2000
+
+echo "== bench_expr smoke (tsan) =="
+# The expression corpus under instrumented atomics: compiled kernels feed the
+# fallback metric counter from worker-adjacent code paths.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_expr 2000
 
 echo "== bench_aggregate smoke (tsan) =="
 # Parallel rows accumulate into per-worker partitions and merge across the

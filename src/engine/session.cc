@@ -284,6 +284,7 @@ Result<PhysicalPtr> Session::OptimizeLogical(LogicalPtr logical, OptimizeInfo* i
                                              bool want_trace) {
   const uint64_t start_nanos = MonotonicNanos();
   options_.optimizer.buffer_pages = db_->pool_->capacity();
+  options_.optimizer.vectorized = options_.vectorized;
   if (trace_optimizer_ || want_trace) {
     last_trace_ = std::make_unique<PlanTrace>();
     info->trace = last_trace_.get();
@@ -367,6 +368,7 @@ Result<QueryResult> Session::ExecutePlanInternal(const PhysicalNode& plan) {
 Result<QueryResult> Session::RunSelect(SelectStmt* stmt, const std::string* cache_suffix) {
   PlanCache& cache = db_->plan_cache_;
   options_.optimizer.buffer_pages = db_->pool_->capacity();
+  options_.optimizer.vectorized = options_.vectorized;
   const uint64_t catalog_version = db_->catalog_->version();
   std::string key = PlanCacheKey(stmt->text, options_.optimizer);
   if (cache_suffix != nullptr) key += *cache_suffix;

@@ -162,7 +162,8 @@ AggregateExecutor::AggregateExecutor(ExecContext* ctx, Schema out_schema, Execut
     : Executor(ctx, std::move(out_schema)),
       child_(std::move(child)),
       group_exprs_(std::move(group_exprs)),
-      aggs_(std::move(aggs)) {}
+      aggs_(std::move(aggs)),
+      key_computer_(&group_exprs_) {}
 
 Status AggregateExecutor::IngestRow(const std::string& enc, const Tuple& tuple) {
   return AccumulateKeyedRow(group_exprs_, aggs_, enc, tuple, &groups_);
@@ -189,9 +190,13 @@ Status AggregateExecutor::IngestBatchStream() {
   std::vector<std::string> keys;
   while (true) {
     RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
-    RELOPT_RETURN_NOT_OK(ComputeGroupKeys(group_exprs_, batch, &keys));
+    RELOPT_RETURN_NOT_OK(key_computer_.Compute(batch, &keys, &stats_.fallback_rows));
     for (size_t k = 0; k < batch.NumSelected(); ++k) {
-      RELOPT_RETURN_NOT_OK(IngestRow(keys[k], batch.SelectedRow(k)));
+      // Map misses pull key values out of the computer's column vectors
+      // instead of re-evaluating the group expressions.
+      RELOPT_RETURN_NOT_OK(AccumulateKeyedRowWith(
+          [&](size_t i) { return key_computer_.KeyValue(i, k); }, group_exprs_.size(), aggs_,
+          keys[k], batch.SelectedRow(k), &groups_));
     }
     if (!has) break;
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "expr/vector_eval.h"
 
 namespace relopt {
 
@@ -78,6 +79,25 @@ Status AccumulateKeyedRow(const std::vector<const Expression*>& group_exprs,
   return AccumulateTuple(aggs, tuple, &it->second);
 }
 
+/// As AccumulateKeyedRow, but materializes group key values on a miss from
+/// `key_value_fn(i)` (the value of group expression `i` for this row) instead
+/// of re-evaluating the group expressions — the batch drive already has them
+/// in the key computer's column vectors.
+template <typename GroupMap, typename KeyValueFn>
+Status AccumulateKeyedRowWith(KeyValueFn&& key_value_fn, size_t num_keys,
+                              const std::vector<AggSpecExec>& aggs, const std::string& enc,
+                              const Tuple& tuple, GroupMap* groups) {
+  auto it = groups->find(enc);
+  if (it == groups->end()) {
+    AggGroup group;
+    group.keys.reserve(num_keys);
+    for (size_t i = 0; i < num_keys; ++i) group.keys.push_back(key_value_fn(i));
+    group.accs.resize(aggs.size());
+    it = groups->emplace(enc, std::move(group)).first;
+  }
+  return AccumulateTuple(aggs, tuple, &it->second);
+}
+
 /// \brief Hash (here: ordered-map) aggregation. Groups on the encoded group
 /// key, so NULLs group together (SQL GROUP BY semantics) and output order is
 /// deterministic (ascending group key).
@@ -88,7 +108,7 @@ Status AccumulateKeyedRow(const std::vector<const Expression*>& group_exprs,
 ///
 /// Under vectorized drive (ctx batch_size > 0) both sides are native batch:
 /// ingest pulls TupleBatches from the child and computes encoded group keys
-/// per batch (ComputeGroupKeys), emit fills output batches a group row at a
+/// per batch (GroupKeyComputer), emit fills output batches a group row at a
 /// time. Row drive is byte-identical to the pre-vectorized path.
 class AggregateExecutor : public Executor {
  public:
@@ -109,6 +129,7 @@ class AggregateExecutor : public Executor {
   ExecutorPtr child_;
   std::vector<const Expression*> group_exprs_;
   std::vector<AggSpecExec> aggs_;
+  GroupKeyComputer key_computer_;  ///< batched group-key encoding (batch drive)
 
   std::map<std::string, AggGroup> groups_;
   std::map<std::string, AggGroup>::const_iterator out_iter_;

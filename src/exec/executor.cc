@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "storage/io_counters.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace relopt {
@@ -29,6 +30,7 @@ void OperatorStats::Merge(const OperatorStats& other) {
   next_calls += other.next_calls;
   rows_produced += other.rows_produced;
   batches_produced += other.batches_produced;
+  fallback_rows += other.fallback_rows;
   wall_nanos += other.wall_nanos;
   if (other.started) {
     first_start_nanos =
@@ -97,14 +99,25 @@ Result<bool> Executor::NextBatchImpl(TupleBatch* out) {
   // Row-loop adapter: fill reusable slots straight from this operator's own
   // NextImpl. Bypasses the instrumented Next() wrapper — the enclosing
   // NextBatch frame already owns timing, attribution, and row accounting.
+  // Every row produced here is charged as a fallback row so row-at-a-time
+  // islands under batch drive stay visible in EXPLAIN ANALYZE and metrics.
+  uint64_t produced = 0;
   while (!out->Full()) {
     Tuple* slot = out->AppendRow();
-    RELOPT_ASSIGN_OR_RETURN(bool has, NextImpl(slot));
-    if (!has) {
+    Result<bool> has = NextImpl(slot);
+    if (!has.ok() || !*has) {
       out->DropLastRow();
+      if (produced > 0) {
+        stats_.fallback_rows += produced;
+        EngineMetrics::Get().exec_batch_fallback_rows->Add(produced);
+      }
+      if (!has.ok()) return has.status();
       return false;
     }
+    ++produced;
   }
+  stats_.fallback_rows += produced;
+  EngineMetrics::Get().exec_batch_fallback_rows->Add(produced);
   return true;
 }
 

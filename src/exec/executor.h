@@ -44,6 +44,7 @@ struct OperatorStats {
   uint64_t next_calls = 0;   ///< Next() + NextBatch() calls
   uint64_t rows_produced = 0;  ///< total across all restarts
   uint64_t batches_produced = 0;  ///< NextBatch() calls (0 in row mode)
+  uint64_t fallback_rows = 0;  ///< rows produced/evaluated via row-loop fallback
   uint64_t wall_nanos = 0;     ///< inclusive wall time in Init+Next
   uint64_t first_start_nanos = 0;  ///< first Init, relative to the query epoch
   bool started = false;
@@ -248,6 +249,17 @@ class Executor {
   const Schema& schema() const { return schema_; }
   uint64_t rows_produced() const { return rows_produced_; }
   const OperatorStats& stats() const { return stats_; }
+
+  /// Releases cross-call resources (pinned pages and their frame latches)
+  /// held by this operator subtree, on the *calling* thread. Gather workers
+  /// call this when a fragment stops mid-stream (cancellation under LIMIT,
+  /// fail-fast on another worker's error): a frame latch acquired on the
+  /// worker thread must be released by that same thread, not by the
+  /// executor destructor on the session thread — pthread rwlocks make a
+  /// cross-thread unlock undefined, and TSan's lock-order bookkeeping keeps
+  /// the latch in the worker's held-set forever. Operators holding nothing
+  /// across calls inherit the no-op; operators with children forward.
+  virtual void Abandon() {}
 
  protected:
   virtual Status InitImpl() = 0;

@@ -29,25 +29,28 @@ Status DecodeRecord(const std::string& rec, size_t num_cols, std::string* key, T
   return Status::OK();
 }
 
+std::vector<const Expression*> KeyExprs(const std::vector<SortKeySpec>& keys) {
+  std::vector<const Expression*> exprs;
+  exprs.reserve(keys.size());
+  for (const SortKeySpec& k : keys) exprs.push_back(k.expr);
+  return exprs;
+}
+
+std::vector<bool> KeyDescs(const std::vector<SortKeySpec>& keys) {
+  std::vector<bool> desc;
+  desc.reserve(keys.size());
+  for (const SortKeySpec& k : keys) desc.push_back(k.desc);
+  return desc;
+}
+
 }  // namespace
 
 ExternalSortExecutor::ExternalSortExecutor(ExecContext* ctx, ExecutorPtr child,
                                            std::vector<SortKeySpec> keys)
-    : Executor(ctx, child->schema()), child_(std::move(child)), keys_(std::move(keys)) {}
-
-Result<std::string> ExternalSortExecutor::EncodeSortKey(const Tuple& t) const {
-  std::string key;
-  for (const SortKeySpec& k : keys_) {
-    RELOPT_ASSIGN_OR_RETURN(Value v, k.expr->Eval(t));
-    std::string part;
-    EncodeKeyValue(v, &part);
-    if (k.desc) {
-      for (char& c : part) c = static_cast<char>(~static_cast<unsigned char>(c));
-    }
-    key += part;
-  }
-  return key;
-}
+    : Executor(ctx, child->schema()),
+      child_(std::move(child)),
+      keys_(std::move(keys)),
+      key_encoder_(KeyExprs(keys_), KeyDescs(keys_)) {}
 
 Status ExternalSortExecutor::FlushRun(std::vector<Item>* items) {
   std::sort(items->begin(), items->end(),
@@ -118,8 +121,7 @@ Status ExternalSortExecutor::InitImpl() {
 
   const size_t budget = ctx_->operator_memory_pages() * kPageSize;
   size_t bytes = 0;
-  auto ingest = [&](Tuple&& t) -> Status {
-    RELOPT_ASSIGN_OR_RETURN(std::string key, EncodeSortKey(t));
+  auto store = [&](std::string&& key, Tuple&& t) -> Status {
     bytes += key.size() + t.Serialize().size() + 32;
     memory_items_.push_back(Item{std::move(key), std::move(t)});
     if (bytes > budget) {
@@ -129,14 +131,18 @@ Status ExternalSortExecutor::InitImpl() {
     return Status::OK();
   };
   if (ctx_->batch_size() > 0) {
-    // Native batch ingest: adopt whole batches from the child instead of
-    // paying per-row virtual dispatch through the row adapter. Moving out of
-    // the batch slots is safe — NextBatch clears them before refilling.
+    // Native batch ingest: adopt whole batches from the child and encode all
+    // their sort keys with the compiled batch encoder — one tight loop per
+    // key expression instead of per-row Eval. Moving out of the batch slots
+    // is safe — NextBatch clears them before refilling.
     TupleBatch batch(ctx_->batch_size());
+    std::vector<std::string> keys;
     while (true) {
       RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
-      for (uint32_t row : batch.selection()) {
-        RELOPT_RETURN_NOT_OK(ingest(std::move(*batch.MutableRowAt(row))));
+      RELOPT_RETURN_NOT_OK(key_encoder_.EncodeBatch(batch, &keys, &stats_.fallback_rows));
+      for (size_t k = 0; k < batch.NumSelected(); ++k) {
+        Tuple& row = *batch.MutableRowAt(batch.selection()[k]);
+        RELOPT_RETURN_NOT_OK(store(std::move(keys[k]), std::move(row)));
       }
       if (!has) break;
     }
@@ -145,7 +151,9 @@ Status ExternalSortExecutor::InitImpl() {
     while (true) {
       RELOPT_ASSIGN_OR_RETURN(bool has, child_->Next(&t));
       if (!has) break;
-      RELOPT_RETURN_NOT_OK(ingest(std::move(t)));
+      std::string key;
+      RELOPT_RETURN_NOT_OK(key_encoder_.EncodeRow(t, &key));
+      RELOPT_RETURN_NOT_OK(store(std::move(key), std::move(t)));
     }
   }
 
@@ -212,6 +220,33 @@ Result<bool> ExternalSortExecutor::NextImpl(Tuple* out) {
   *out = best->tuple;
   RELOPT_RETURN_NOT_OK(AdvanceCursor(best));
   CountRow();
+  return true;
+}
+
+Result<bool> ExternalSortExecutor::NextBatchImpl(TupleBatch* out) {
+  // Native batch emit: fill the output batch straight from the sorted array
+  // or the run cursors, skipping the per-row adapter.
+  if (in_memory_) {
+    while (!out->Full() && memory_pos_ < memory_items_.size()) {
+      *out->AppendRow() = std::move(memory_items_[memory_pos_++].tuple);
+    }
+    CountRows(out->NumSelected());
+    return memory_pos_ < memory_items_.size();
+  }
+  while (!out->Full()) {
+    RunCursor* best = nullptr;
+    for (RunCursor& c : cursors_) {
+      if (c.exhausted) continue;
+      if (best == nullptr || c.key < best->key) best = &c;
+    }
+    if (best == nullptr) {
+      CountRows(out->NumSelected());
+      return false;
+    }
+    *out->AppendRow() = std::move(best->tuple);
+    RELOPT_RETURN_NOT_OK(AdvanceCursor(best));
+  }
+  CountRows(out->NumSelected());
   return true;
 }
 

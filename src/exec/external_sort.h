@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "exec/executor.h"
+#include "expr/vector_eval.h"
 
 namespace relopt {
 
@@ -28,6 +29,7 @@ class ExternalSortExecutor : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
 
   /// Number of spilled runs in the last Init (after run generation, before
   /// merging); 0 means fully in-memory. For tests/benches.
@@ -42,13 +44,13 @@ class ExternalSortExecutor : public Executor {
     Tuple tuple;
   };
 
-  Result<std::string> EncodeSortKey(const Tuple& t) const;
   Status FlushRun(std::vector<Item>* items);
   /// Merges `inputs` (scratch heaps holding sorted records) into one new run.
   Result<HeapFile> MergeRuns(std::vector<HeapFile*> inputs);
 
   ExecutorPtr child_;
   std::vector<SortKeySpec> keys_;
+  SortKeyEncoder key_encoder_;  ///< batch/row sort-key encoding (byte-identical)
 
   // In-memory path.
   std::vector<Item> memory_items_;

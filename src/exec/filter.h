@@ -12,7 +12,7 @@ class FilterExecutor : public Executor {
       : Executor(ctx, child->schema()),
         child_(std::move(child)),
         predicate_(predicate),
-        conjuncts_(CollectConjuncts(predicate)) {}
+        batch_predicate_(predicate) {}
 
   Status InitImpl() override {
     ResetCounters();
@@ -36,15 +36,17 @@ class FilterExecutor : public Executor {
   /// the caller pulls again.
   Result<bool> NextBatchImpl(TupleBatch* out) override {
     RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
-    RELOPT_RETURN_NOT_OK(FilterBatch(conjuncts_, out));
+    RELOPT_RETURN_NOT_OK(batch_predicate_.Filter(out, &stats_.fallback_rows));
     CountRows(out->NumSelected());
     return has;
   }
 
+  void Abandon() override { child_->Abandon(); }
+
  private:
   ExecutorPtr child_;
   const Expression* predicate_;
-  std::vector<const Expression*> conjuncts_;  ///< top-level AND split of predicate_
+  BatchPredicate batch_predicate_;  ///< compiled conjunct kernels (batch drive)
 };
 
 }  // namespace relopt

@@ -112,6 +112,10 @@ void GatherExecutor::WorkerMain(size_t worker_idx) {
     }
     if (st.ok() && !batch.empty()) PushBatch(&batch);
   }
+  // Release any page still pinned by this fragment (cancelled or errored
+  // mid-scan) on this thread — frame latches must be unlocked by the thread
+  // that acquired them. No-op after a clean drain.
+  exec->Abandon();
   std::lock_guard<std::mutex> lock(mu_);
   if (!st.ok()) {
     worker_status_[worker_idx] = std::move(st);

@@ -1,5 +1,6 @@
 #include "exec/hash_join.h"
 
+#include "expr/vector_eval.h"
 #include "types/key_codec.h"
 
 namespace relopt {
@@ -58,21 +59,26 @@ Status HashJoinExecutor::InitImpl() {
   probe_cols_ = probe_->schema().NumColumns();
 
   // Drain the build side, tracking size against the memory budget. Under
-  // vectorized execution the build child is batch-driven so a native-batch
-  // subtree below keeps its fast path.
+  // vectorized execution the build child is batch-driven and each batch's
+  // join keys are encoded in one tight loop, so the hash-table build (and a
+  // possible Grace partition pass) never re-derives keys row at a time.
   RELOPT_RETURN_NOT_OK(build_->Init());
   const size_t budget = ctx_->operator_memory_pages() * kPageSize;
   std::vector<Tuple> build_rows;
+  std::vector<std::optional<std::string>> build_row_keys;
   size_t bytes = 0;
   Tuple t;
   if (ctx_->batch_size() > 0) {
     TupleBatch batch(ctx_->batch_size());
+    std::vector<std::optional<std::string>> keys;
     while (true) {
       RELOPT_ASSIGN_OR_RETURN(bool has, build_->NextBatch(&batch));
-      for (uint32_t i : batch.selection()) {
-        Tuple& row = *batch.MutableRowAt(i);
+      RELOPT_RETURN_NOT_OK(ComputeJoinKeys(batch, build_keys_, &keys));
+      for (size_t k = 0; k < batch.NumSelected(); ++k) {
+        Tuple& row = *batch.MutableRowAt(batch.selection()[k]);
         bytes += row.Serialize().size() + 16;
         build_rows.push_back(std::move(row));
+        build_row_keys.push_back(std::move(keys[k]));
       }
       if (!has) break;
     }
@@ -81,13 +87,18 @@ Status HashJoinExecutor::InitImpl() {
       RELOPT_ASSIGN_OR_RETURN(bool has, build_->Next(&t));
       if (!has) break;
       bytes += t.Serialize().size() + 16;
+      RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(t, build_keys_));
       build_rows.push_back(std::move(t));
+      build_row_keys.push_back(std::move(key));
     }
   }
 
   if (bytes <= budget) {
-    for (Tuple& row : build_rows) {
-      RELOPT_RETURN_NOT_OK(AddBuildRow(row));
+    // Bulk insert: keys were already encoded batch-at-a-time above.
+    table_.reserve(build_rows.size());
+    for (size_t i = 0; i < build_rows.size(); ++i) {
+      if (!build_row_keys[i].has_value()) continue;  // NULL keys never match
+      table_.emplace(std::move(*build_row_keys[i]), std::move(build_rows[i]));
     }
     RELOPT_RETURN_NOT_OK(probe_->Init());
     return Status::OK();
@@ -103,14 +114,15 @@ Status HashJoinExecutor::InitImpl() {
     probe_parts_.push_back(std::move(pp));
   }
   std::hash<std::string> hasher;
-  for (const Tuple& row : build_rows) {
-    RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key, JoinKeyOf(row, build_keys_));
+  for (size_t i = 0; i < build_rows.size(); ++i) {
+    const std::optional<std::string>& key = build_row_keys[i];
     if (!key.has_value()) continue;  // NULL keys never match
     size_t p = hasher(*key) % num_partitions_;
-    RELOPT_ASSIGN_OR_RETURN(Rid rid, build_parts_[p].Insert(row.Serialize()));
+    RELOPT_ASSIGN_OR_RETURN(Rid rid, build_parts_[p].Insert(build_rows[i].Serialize()));
     (void)rid;
   }
   build_rows.clear();
+  build_row_keys.clear();
   RELOPT_RETURN_NOT_OK(probe_->Init());
   while (true) {
     RELOPT_ASSIGN_OR_RETURN(bool has, probe_->Next(&t));
@@ -255,13 +267,7 @@ Result<bool> HashJoinExecutor::NextBatchImpl(TupleBatch* out) {
     RELOPT_ASSIGN_OR_RETURN(bool has, probe_->NextBatch(&probe_batch_));
     if (!has) probe_done_ = true;
     probe_pos_ = 0;
-    batch_keys_.clear();
-    batch_keys_.reserve(probe_batch_.NumSelected());
-    for (size_t k = 0; k < probe_batch_.NumSelected(); ++k) {
-      RELOPT_ASSIGN_OR_RETURN(std::optional<std::string> key,
-                              JoinKeyOf(probe_batch_.SelectedRow(k), probe_keys_));
-      batch_keys_.push_back(std::move(key));
-    }
+    RELOPT_RETURN_NOT_OK(ComputeJoinKeys(probe_batch_, probe_keys_, &batch_keys_));
   }
 }
 

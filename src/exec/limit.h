@@ -28,10 +28,20 @@ class LimitExecutor : public Executor {
   /// Batch path: pass the child batch through, truncating the selection when
   /// it crosses the limit (the batch-boundary case LIMIT must get right).
   /// Stops pulling the child once the limit is reached, like the row path.
+  /// The batch handed down is capped to the remaining row count so producers
+  /// that pay per appended row (external-sort merge) stop at the limit and
+  /// page I/O stays identical to row mode; batch-capacity caps propagate
+  /// through in-place operators (Filter) and batch-copying ones (Project).
   Result<bool> NextBatchImpl(TupleBatch* out) override {
     if (emitted_ >= limit_) return false;
-    RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out));
-    int64_t remaining = limit_ - emitted_;
+    const size_t full_capacity = out->capacity();
+    const int64_t remaining = limit_ - emitted_;
+    if (remaining < static_cast<int64_t>(full_capacity)) {
+      out->SetCapacity(static_cast<size_t>(remaining));
+    }
+    Result<bool> child_has = child_->NextBatch(out);
+    out->SetCapacity(full_capacity);
+    RELOPT_ASSIGN_OR_RETURN(bool has, std::move(child_has));
     if (static_cast<int64_t>(out->NumSelected()) > remaining) {
       out->TruncateSelection(static_cast<size_t>(remaining));
     }

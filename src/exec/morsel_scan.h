@@ -65,6 +65,10 @@ class MorselScanExecutor : public Executor {
   Result<bool> NextImpl(Tuple* out) override;
   Result<bool> NextBatchImpl(TupleBatch* out) override;
 
+  /// The cursor keeps the current page pinned (shared frame latch held)
+  /// between calls; release it on the worker thread that acquired it.
+  void Abandon() override { (void)cursor_.Close(); }
+
  private:
   /// Next live record across pages and morsels; false once the source is
   /// exhausted. The view stays valid until the next call.

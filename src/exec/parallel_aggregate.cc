@@ -23,15 +23,16 @@ Status ParallelAggregateWorker::AccumulatePhase() {
   std::vector<SharedAggregateState::GroupMap>& mine = shared_->worker_partitions(worker_idx_);
   RELOPT_RETURN_NOT_OK(child_->Init());
   if (ctx_->batch_size() > 0) {
+    GroupKeyComputer key_computer(&group_exprs_);
     TupleBatch batch(ctx_->batch_size());
     std::vector<std::string> keys;
     while (true) {
       RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
-      RELOPT_RETURN_NOT_OK(ComputeGroupKeys(group_exprs_, batch, &keys));
+      RELOPT_RETURN_NOT_OK(key_computer.Compute(batch, &keys, &stats_.fallback_rows));
       for (size_t k = 0; k < batch.NumSelected(); ++k) {
-        RELOPT_RETURN_NOT_OK(AccumulateKeyedRow(group_exprs_, aggs_, keys[k],
-                                                batch.SelectedRow(k),
-                                                &mine[hasher_(keys[k]) % num_parts]));
+        RELOPT_RETURN_NOT_OK(AccumulateKeyedRowWith(
+            [&](size_t i) { return key_computer.KeyValue(i, k); }, group_exprs_.size(), aggs_,
+            keys[k], batch.SelectedRow(k), &mine[hasher_(keys[k]) % num_parts]));
       }
       if (!has) break;
     }

@@ -83,7 +83,7 @@ class SharedAggregateState : public ParallelSharedState {
 /// running concurrently — the fragment builder and Gather guarantee this.
 ///
 /// Under vectorized drive the accumulate phase pulls TupleBatches from the
-/// fragment and computes encoded group keys per batch (ComputeGroupKeys);
+/// fragment and computes encoded group keys per batch (GroupKeyComputer);
 /// emit is native batch too. A global aggregate routes every row to the empty
 /// key's partition, whose owner also emits the one default row when the input
 /// is empty (matching the serial executor).
@@ -97,6 +97,8 @@ class ParallelAggregateWorker : public Executor {
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
   Result<bool> NextBatchImpl(TupleBatch* out) override;
+
+  void Abandon() override { child_->Abandon(); }
 
  private:
   /// Drains this worker's fragment, accumulating each row into

@@ -1,5 +1,7 @@
 #include "exec/parallel_hash_join.h"
 
+#include "expr/vector_eval.h"
+
 namespace relopt {
 
 ParallelHashJoinWorker::ParallelHashJoinWorker(ExecContext* ctx, ExecutorPtr build,
@@ -17,13 +19,31 @@ ParallelHashJoinWorker::ParallelHashJoinWorker(ExecContext* ctx, ExecutorPtr bui
       residual_(residual),
       output_probe_first_(output_probe_first),
       shared_(std::move(shared)),
-      worker_idx_(worker_idx) {}
+      worker_idx_(worker_idx),
+      probe_batch_(ctx->batch_size()) {}
 
 Status ParallelHashJoinWorker::PartitionBuildSide() {
   const size_t num_parts = shared_->num_workers();
   std::vector<std::vector<SharedHashJoinState::KeyedRow>>& mine =
       shared_->worker_partitions(worker_idx_);
   RELOPT_RETURN_NOT_OK(build_->Init());
+  if (ctx_->batch_size() > 0) {
+    // Batch drain: one key-encoding loop per batch, then route rows.
+    TupleBatch batch(ctx_->batch_size());
+    std::vector<std::optional<std::string>> keys;
+    while (true) {
+      RELOPT_ASSIGN_OR_RETURN(bool has, build_->NextBatch(&batch));
+      RELOPT_RETURN_NOT_OK(ComputeJoinKeys(batch, build_keys_, &keys));
+      for (size_t k = 0; k < batch.NumSelected(); ++k) {
+        if (!keys[k].has_value()) continue;  // NULL keys never match
+        Tuple& row = *batch.MutableRowAt(batch.selection()[k]);
+        size_t p = hasher_(*keys[k]) % num_parts;
+        mine[p].emplace_back(std::move(*keys[k]), std::move(row));
+      }
+      if (!has) break;
+    }
+    return Status::OK();
+  }
   Tuple t;
   while (true) {
     RELOPT_ASSIGN_OR_RETURN(bool has, build_->Next(&t));
@@ -56,6 +76,11 @@ void ParallelHashJoinWorker::BuildTable() {
 Status ParallelHashJoinWorker::InitImpl() {
   matches_.clear();
   match_idx_ = 0;
+  probe_batch_.Clear();
+  batch_keys_.clear();
+  probe_pos_ = 0;
+  probe_done_ = false;
+  batch_probe_row_ = nullptr;
   ResetCounters();
 
   // SPMD discipline: park errors in the shared state and hit both barriers
@@ -93,6 +118,46 @@ Result<bool> ParallelHashJoinWorker::NextImpl(Tuple* out) {
     const SharedHashJoinState::HashTable& table = shared_->table(hasher_(*key) % num_parts);
     auto [lo, hi] = table.equal_range(*key);
     for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+  }
+}
+
+Result<bool> ParallelHashJoinWorker::NextBatchImpl(TupleBatch* out) {
+  // Native batch probe, mirroring the serial join's in-memory batch path:
+  // refill the probe batch, encode all its keys in one loop, then drain each
+  // row's match list into the output batch.
+  const size_t num_parts = shared_->num_workers();
+  while (true) {
+    while (match_idx_ < matches_.size()) {
+      if (out->Full()) {
+        CountRows(out->NumSelected());
+        return true;
+      }
+      Tuple combined = output_probe_first_
+                           ? Tuple::Concat(*batch_probe_row_, *matches_[match_idx_++])
+                           : Tuple::Concat(*matches_[match_idx_++], *batch_probe_row_);
+      RELOPT_ASSIGN_OR_RETURN(bool pass, PredicatePasses(residual_, combined));
+      if (pass) *out->AppendRow() = std::move(combined);
+    }
+    if (probe_pos_ < probe_batch_.NumSelected()) {
+      size_t k = probe_pos_++;
+      matches_.clear();
+      match_idx_ = 0;
+      const std::optional<std::string>& key = batch_keys_[k];
+      if (!key.has_value()) continue;  // NULL keys never match
+      batch_probe_row_ = &probe_batch_.SelectedRow(k);
+      const SharedHashJoinState::HashTable& table = shared_->table(hasher_(*key) % num_parts);
+      auto [lo, hi] = table.equal_range(*key);
+      for (auto it = lo; it != hi; ++it) matches_.push_back(&it->second);
+      continue;
+    }
+    if (probe_done_) {
+      CountRows(out->NumSelected());
+      return false;
+    }
+    RELOPT_ASSIGN_OR_RETURN(bool has, probe_->NextBatch(&probe_batch_));
+    if (!has) probe_done_ = true;
+    probe_pos_ = 0;
+    RELOPT_RETURN_NOT_OK(ComputeJoinKeys(probe_batch_, probe_keys_, &batch_keys_));
   }
 }
 

@@ -92,10 +92,17 @@ class ParallelHashJoinWorker : public Executor {
 
   Status InitImpl() override;
   Result<bool> NextImpl(Tuple* out) override;
+  Result<bool> NextBatchImpl(TupleBatch* out) override;
+
+  void Abandon() override {
+    build_->Abandon();
+    probe_->Abandon();
+  }
 
  private:
   /// Drains this worker's build fragment, routing rows into
-  /// `shared_->partition(worker_idx_, hash(key) % P)`.
+  /// `shared_->partition(worker_idx_, hash(key) % P)`. Under batch drive the
+  /// fragment is drained batch-at-a-time with batched key encoding.
   Status PartitionBuildSide();
   /// Folds partition column `worker_idx_` into `shared_->table(worker_idx_)`.
   void BuildTable();
@@ -113,6 +120,14 @@ class ParallelHashJoinWorker : public Executor {
   Tuple probe_tuple_;
   std::vector<const Tuple*> matches_;
   size_t match_idx_ = 0;
+
+  // Batched probe state, mirroring the serial join: probe keys are encoded
+  // for the whole batch up front, then each row's match list is drained.
+  TupleBatch probe_batch_;
+  std::vector<std::optional<std::string>> batch_keys_;
+  size_t probe_pos_ = 0;
+  bool probe_done_ = false;
+  const Tuple* batch_probe_row_ = nullptr;
 };
 
 }  // namespace relopt

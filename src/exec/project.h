@@ -1,6 +1,8 @@
 // Projection executor: evaluates output expressions per row.
 #pragma once
 
+#include <algorithm>
+
 #include "exec/executor.h"
 #include "expr/vector_eval.h"
 
@@ -13,6 +15,7 @@ class ProjectExecutor : public Executor {
       : Executor(ctx, std::move(out_schema)),
         child_(std::move(child)),
         exprs_(exprs),
+        projector_(exprs),
         in_batch_(ctx->batch_size()) {}
 
   Status InitImpl() override {
@@ -37,17 +40,22 @@ class ProjectExecutor : public Executor {
 
   /// Batch path: pull one child batch and project its selected rows into
   /// reusable output slots. in_batch_ and out share the context batch size,
-  /// so the projection always fits.
+  /// so the projection always fits. When a parent (LIMIT) caps `out` below
+  /// that, the cap is forwarded to the child so producers stop early too.
   Result<bool> NextBatchImpl(TupleBatch* out) override {
+    in_batch_.SetCapacity(std::min(ctx_->batch_size(), out->capacity()));
     RELOPT_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_));
-    RELOPT_RETURN_NOT_OK(ProjectBatch(*exprs_, in_batch_, out));
+    RELOPT_RETURN_NOT_OK(projector_.Project(in_batch_, out, &stats_.fallback_rows));
     CountRows(out->NumSelected());
     return has;
   }
 
+  void Abandon() override { child_->Abandon(); }
+
  private:
   ExecutorPtr child_;
   const std::vector<ExprPtr>* exprs_;
+  BatchProjector projector_;  ///< compiled column-wise kernels (batch drive)
   TupleBatch in_batch_;  ///< reusable child-output batch (batch drive only)
 };
 

@@ -65,6 +65,32 @@ ExprPtr RewriteOverAggregate(ExprPtr expr, const std::vector<std::string>& group
                                        num_group_cols, agg_renderings);
       return std::make_unique<IsNullExpr>(std::move(c), e->negated());
     }
+    case ExprKind::kCase: {
+      auto* e = static_cast<CaseExpr*>(expr.get());
+      std::vector<ExprPtr> whens, thens;
+      for (size_t i = 0; i < e->num_arms(); ++i) {
+        whens.push_back(RewriteOverAggregate(e->when_at(i)->Clone(), group_renderings,
+                                             agg_schema, num_group_cols, agg_renderings));
+        thens.push_back(RewriteOverAggregate(e->then_at(i)->Clone(), group_renderings,
+                                             agg_schema, num_group_cols, agg_renderings));
+      }
+      ExprPtr else_expr =
+          e->else_expr() != nullptr
+              ? RewriteOverAggregate(e->else_expr()->Clone(), group_renderings, agg_schema,
+                                     num_group_cols, agg_renderings)
+              : nullptr;
+      return std::make_unique<CaseExpr>(std::move(whens), std::move(thens),
+                                        std::move(else_expr));
+    }
+    case ExprKind::kFunctionCall: {
+      auto* e = static_cast<FunctionCallExpr*>(expr.get());
+      std::vector<ExprPtr> args;
+      for (const ExprPtr& a : e->args()) {
+        args.push_back(RewriteOverAggregate(a->Clone(), group_renderings, agg_schema,
+                                            num_group_cols, agg_renderings));
+      }
+      return std::make_unique<FunctionCallExpr>(e->func(), std::move(args));
+    }
     default:
       return expr;
   }
@@ -100,6 +126,20 @@ void CollectAggCalls(const Expression* expr, std::vector<const AggregateCallExpr
     case ExprKind::kIsNull: {
       const auto* e = static_cast<const IsNullExpr*>(expr);
       CollectAggCalls(e->child(), out, seen);
+      break;
+    }
+    case ExprKind::kCase: {
+      const auto* e = static_cast<const CaseExpr*>(expr);
+      for (size_t i = 0; i < e->num_arms(); ++i) {
+        CollectAggCalls(e->when_at(i), out, seen);
+        CollectAggCalls(e->then_at(i), out, seen);
+      }
+      CollectAggCalls(e->else_expr(), out, seen);
+      break;
+    }
+    case ExprKind::kFunctionCall: {
+      const auto* e = static_cast<const FunctionCallExpr*>(expr);
+      for (const ExprPtr& a : e->args()) CollectAggCalls(a.get(), out, seen);
       break;
     }
     default:

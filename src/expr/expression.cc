@@ -58,6 +58,35 @@ const char* AggFuncToString(AggFunc f) {
   return "?";
 }
 
+const char* ScalarFuncToString(ScalarFunc f) {
+  switch (f) {
+    case ScalarFunc::kAbs:
+      return "abs";
+    case ScalarFunc::kLength:
+      return "length";
+    case ScalarFunc::kUpper:
+      return "upper";
+    case ScalarFunc::kLower:
+      return "lower";
+    case ScalarFunc::kCoalesce:
+      return "coalesce";
+    case ScalarFunc::kNullIf:
+      return "nullif";
+  }
+  return "?";
+}
+
+bool LookupScalarFunc(const std::string& name, ScalarFunc* out) {
+  if (name == "abs") *out = ScalarFunc::kAbs;
+  else if (name == "length") *out = ScalarFunc::kLength;
+  else if (name == "upper") *out = ScalarFunc::kUpper;
+  else if (name == "lower") *out = ScalarFunc::kLower;
+  else if (name == "coalesce") *out = ScalarFunc::kCoalesce;
+  else if (name == "nullif") *out = ScalarFunc::kNullIf;
+  else return false;
+  return true;
+}
+
 CompareOp SwapCompareOp(CompareOp op) {
   switch (op) {
     case CompareOp::kLt:
@@ -122,6 +151,20 @@ bool Expression::ContainsAggregate() const {
     case ExprKind::kIsNull: {
       auto* e = static_cast<const IsNullExpr*>(this);
       return e->child()->ContainsAggregate();
+    }
+    case ExprKind::kCase: {
+      auto* e = static_cast<const CaseExpr*>(this);
+      for (size_t i = 0; i < e->num_arms(); ++i) {
+        if (e->when_at(i)->ContainsAggregate() || e->then_at(i)->ContainsAggregate()) return true;
+      }
+      return e->else_expr() != nullptr && e->else_expr()->ContainsAggregate();
+    }
+    case ExprKind::kFunctionCall: {
+      auto* e = static_cast<const FunctionCallExpr*>(this);
+      for (const ExprPtr& a : e->args()) {
+        if (a->ContainsAggregate()) return true;
+      }
+      return false;
     }
     default:
       return false;
@@ -451,6 +494,263 @@ void AggregateCallExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out
 }
 void AggregateCallExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
   if (arg_) arg_->CollectColumnRefsMutable(out);
+}
+
+// ------------------------------------------------------------------- Case --
+
+namespace {
+
+/// Widens `v` to `target` so every CASE/COALESCE branch yields the unified
+/// result type (int64 branches widen to double when any branch is double).
+Value CoerceTo(Value v, TypeId target) {
+  if (v.is_null()) return Value::Null(target);
+  if (target == TypeId::kDouble && v.type() == TypeId::kInt64) {
+    return Value::Double(static_cast<double>(v.AsInt()));
+  }
+  return v;
+}
+
+/// Unifies the result types of CASE branches / COALESCE arguments:
+/// identical types stay, int64+double widens to double, anything else is a
+/// type error. `what` names the construct for the error message.
+Result<TypeId> UnifyBranchTypes(const std::vector<TypeId>& types, const std::string& what) {
+  TypeId out = types[0];
+  for (TypeId t : types) {
+    if (t == out) continue;
+    if (IsNumeric(t) && IsNumeric(out)) {
+      out = TypeId::kDouble;
+    } else {
+      return Status::TypeError(what + " branches mix incompatible types " + TypeIdToString(out) +
+                               " and " + TypeIdToString(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Value> CaseExpr::Eval(const Tuple& tuple) const {
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    RELOPT_ASSIGN_OR_RETURN(Value cond, whens_[i]->Eval(tuple));
+    if (!cond.is_null() && cond.AsBool()) {
+      RELOPT_ASSIGN_OR_RETURN(Value v, thens_[i]->Eval(tuple));
+      return CoerceTo(std::move(v), result_type_);
+    }
+  }
+  if (else_ == nullptr) return Value::Null(result_type_);
+  RELOPT_ASSIGN_OR_RETURN(Value v, else_->Eval(tuple));
+  return CoerceTo(std::move(v), result_type_);
+}
+
+Status CaseExpr::Bind(const Schema& schema) {
+  std::vector<TypeId> branch_types;
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    RELOPT_RETURN_NOT_OK(whens_[i]->Bind(schema));
+    if (whens_[i]->result_type() != TypeId::kBool) {
+      return Status::TypeError("CASE WHEN condition " + whens_[i]->ToString() +
+                               " is not boolean");
+    }
+    RELOPT_RETURN_NOT_OK(thens_[i]->Bind(schema));
+    branch_types.push_back(thens_[i]->result_type());
+  }
+  if (else_ != nullptr) {
+    RELOPT_RETURN_NOT_OK(else_->Bind(schema));
+    branch_types.push_back(else_->result_type());
+  }
+  RELOPT_ASSIGN_OR_RETURN(result_type_, UnifyBranchTypes(branch_types, "CASE"));
+  return Status::OK();
+}
+
+ExprPtr CaseExpr::Clone() const {
+  std::vector<ExprPtr> whens, thens;
+  whens.reserve(whens_.size());
+  thens.reserve(thens_.size());
+  for (const ExprPtr& w : whens_) whens.push_back(w->Clone());
+  for (const ExprPtr& t : thens_) thens.push_back(t->Clone());
+  auto e = std::make_unique<CaseExpr>(std::move(whens), std::move(thens),
+                                      else_ ? else_->Clone() : nullptr);
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    out += " WHEN " + whens_[i]->ToString() + " THEN " + thens_[i]->ToString();
+  }
+  if (else_ != nullptr) out += " ELSE " + else_->ToString();
+  return out + " END";
+}
+
+void CaseExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    whens_[i]->CollectColumnRefs(out);
+    thens_[i]->CollectColumnRefs(out);
+  }
+  if (else_ != nullptr) else_->CollectColumnRefs(out);
+}
+void CaseExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  for (size_t i = 0; i < whens_.size(); ++i) {
+    whens_[i]->CollectColumnRefsMutable(out);
+    thens_[i]->CollectColumnRefsMutable(out);
+  }
+  if (else_ != nullptr) else_->CollectColumnRefsMutable(out);
+}
+
+// ----------------------------------------------------------- FunctionCall --
+
+namespace {
+
+/// |x| computed in uint64 space so INT64_MIN wraps deterministically instead
+/// of tripping signed-overflow UB; both the row and batch engines use this.
+inline int64_t AbsInt64(int64_t a) {
+  uint64_t m = a < 0 ? 0ull - static_cast<uint64_t>(a) : static_cast<uint64_t>(a);
+  return static_cast<int64_t>(m);
+}
+
+inline std::string AsciiUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+inline std::string AsciiLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Value> FunctionCallExpr::Eval(const Tuple& tuple) const {
+  switch (func_) {
+    case ScalarFunc::kAbs: {
+      RELOPT_ASSIGN_OR_RETURN(Value v, args_[0]->Eval(tuple));
+      if (v.is_null()) return Value::Null(result_type_);
+      if (!IsNumeric(v.type())) {
+        return Status::TypeError("abs on non-numeric operand in " + ToString());
+      }
+      if (v.type() == TypeId::kInt64) return Value::Int(AbsInt64(v.AsInt()));
+      double d = v.NumericAsDouble();
+      return Value::Double(d < 0 ? -d : d);
+    }
+    case ScalarFunc::kLength: {
+      RELOPT_ASSIGN_OR_RETURN(Value v, args_[0]->Eval(tuple));
+      if (v.is_null()) return Value::Null(TypeId::kInt64);
+      if (v.type() != TypeId::kString) {
+        return Status::TypeError("length on non-string operand in " + ToString());
+      }
+      return Value::Int(static_cast<int64_t>(v.AsString().size()));
+    }
+    case ScalarFunc::kUpper:
+    case ScalarFunc::kLower: {
+      RELOPT_ASSIGN_OR_RETURN(Value v, args_[0]->Eval(tuple));
+      if (v.is_null()) return Value::Null(TypeId::kString);
+      if (v.type() != TypeId::kString) {
+        return Status::TypeError(std::string(ScalarFuncToString(func_)) +
+                                 " on non-string operand in " + ToString());
+      }
+      return Value::String(func_ == ScalarFunc::kUpper ? AsciiUpper(v.AsString())
+                                                       : AsciiLower(v.AsString()));
+    }
+    case ScalarFunc::kCoalesce: {
+      for (const ExprPtr& arg : args_) {
+        RELOPT_ASSIGN_OR_RETURN(Value v, arg->Eval(tuple));
+        if (!v.is_null()) return CoerceTo(std::move(v), result_type_);
+      }
+      return Value::Null(result_type_);
+    }
+    case ScalarFunc::kNullIf: {
+      RELOPT_ASSIGN_OR_RETURN(Value a, args_[0]->Eval(tuple));
+      RELOPT_ASSIGN_OR_RETURN(Value b, args_[1]->Eval(tuple));
+      if (a.is_null() || b.is_null()) return CoerceTo(std::move(a), result_type_);
+      RELOPT_ASSIGN_OR_RETURN(int c, a.Compare(b));
+      if (c == 0) return Value::Null(result_type_);
+      return CoerceTo(std::move(a), result_type_);
+    }
+  }
+  return Status::Internal("bad scalar function");
+}
+
+Status FunctionCallExpr::Bind(const Schema& schema) {
+  for (ExprPtr& arg : args_) RELOPT_RETURN_NOT_OK(arg->Bind(schema));
+  auto arity_error = [this](size_t want) {
+    return Status::TypeError(std::string(ScalarFuncToString(func_)) + " takes " +
+                             std::to_string(want) + " argument(s), got " +
+                             std::to_string(args_.size()));
+  };
+  switch (func_) {
+    case ScalarFunc::kAbs:
+      if (args_.size() != 1) return arity_error(1);
+      if (!IsNumeric(args_[0]->result_type())) {
+        return Status::TypeError("abs needs a numeric argument in " + ToString());
+      }
+      result_type_ = args_[0]->result_type();
+      break;
+    case ScalarFunc::kLength:
+      if (args_.size() != 1) return arity_error(1);
+      if (args_[0]->result_type() != TypeId::kString) {
+        return Status::TypeError("length needs a string argument in " + ToString());
+      }
+      result_type_ = TypeId::kInt64;
+      break;
+    case ScalarFunc::kUpper:
+    case ScalarFunc::kLower:
+      if (args_.size() != 1) return arity_error(1);
+      if (args_[0]->result_type() != TypeId::kString) {
+        return Status::TypeError(std::string(ScalarFuncToString(func_)) +
+                                 " needs a string argument in " + ToString());
+      }
+      result_type_ = TypeId::kString;
+      break;
+    case ScalarFunc::kCoalesce: {
+      if (args_.empty()) return arity_error(1);
+      std::vector<TypeId> types;
+      for (const ExprPtr& arg : args_) types.push_back(arg->result_type());
+      RELOPT_ASSIGN_OR_RETURN(result_type_, UnifyBranchTypes(types, "coalesce"));
+      break;
+    }
+    case ScalarFunc::kNullIf: {
+      if (args_.size() != 2) return arity_error(2);
+      if (!AreComparable(args_[0]->result_type(), args_[1]->result_type())) {
+        return Status::TypeError(std::string("nullif cannot compare ") +
+                                 TypeIdToString(args_[0]->result_type()) + " with " +
+                                 TypeIdToString(args_[1]->result_type()));
+      }
+      result_type_ = args_[0]->result_type();
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+ExprPtr FunctionCallExpr::Clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) args.push_back(a->Clone());
+  auto e = std::make_unique<FunctionCallExpr>(func_, std::move(args));
+  e->result_type_ = result_type_;
+  return e;
+}
+
+std::string FunctionCallExpr::ToString() const {
+  std::string out = std::string(ScalarFuncToString(func_)) + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i]->ToString();
+  }
+  return out + ")";
+}
+
+void FunctionCallExpr::CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const {
+  for (const ExprPtr& a : args_) a->CollectColumnRefs(out);
+}
+void FunctionCallExpr::CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) {
+  for (ExprPtr& a : args_) a->CollectColumnRefsMutable(out);
 }
 
 // ---------------------------------------------------------- ParameterExpr --

@@ -28,16 +28,20 @@ enum class ExprKind {
   kIsNull,
   kAggregateCall,
   kParameter,
+  kCase,
+  kFunctionCall,
 };
 
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 enum class LogicalOp { kAnd, kOr, kNot };
 enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
 enum class AggFunc { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+enum class ScalarFunc { kAbs, kLength, kUpper, kLower, kCoalesce, kNullIf };
 
 const char* CompareOpToString(CompareOp op);
 const char* ArithOpToString(ArithOp op);
 const char* AggFuncToString(AggFunc f);
+const char* ScalarFuncToString(ScalarFunc f);
 
 /// Flips a comparison for operand swap: a < b  <=>  b > a.
 CompareOp SwapCompareOp(CompareOp op);
@@ -301,6 +305,72 @@ class ParameterExpr : public Expression {
  private:
   size_t ordinal_;
 };
+
+/// Searched CASE: WHEN <bool> THEN <value> ... [ELSE <value>] END. The parser
+/// lowers simple CASE (`CASE x WHEN v THEN ...`) into this form by rewriting
+/// each arm to `x = v`, so the rest of the engine sees one shape only. A
+/// missing ELSE yields NULL. Arms are evaluated in order; the first WHEN that
+/// is TRUE (not NULL) selects its THEN.
+class CaseExpr : public Expression {
+ public:
+  CaseExpr(std::vector<ExprPtr> whens, std::vector<ExprPtr> thens, ExprPtr else_expr)
+      : Expression(ExprKind::kCase),
+        whens_(std::move(whens)),
+        thens_(std::move(thens)),
+        else_(std::move(else_expr)) {}
+
+  size_t num_arms() const { return whens_.size(); }
+  const Expression* when_at(size_t i) const { return whens_[i].get(); }
+  const Expression* then_at(size_t i) const { return thens_[i].get(); }
+  const Expression* else_expr() const { return else_.get(); }  // may be null
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override {
+    for (ExprPtr& w : whens_) out->push_back(&w);
+    for (ExprPtr& t : thens_) out->push_back(&t);
+    if (else_ != nullptr) out->push_back(&else_);
+  }
+
+ private:
+  std::vector<ExprPtr> whens_;
+  std::vector<ExprPtr> thens_;
+  ExprPtr else_;
+};
+
+/// Scalar function call (abs, length, upper, lower, coalesce, nullif).
+/// Arity and argument types are checked at Bind time; every function maps
+/// NULL inputs per SQL (NULL in -> NULL out, except COALESCE which skips
+/// NULLs and NULLIF which compares only non-NULL operands).
+class FunctionCallExpr : public Expression {
+ public:
+  FunctionCallExpr(ScalarFunc func, std::vector<ExprPtr> args)
+      : Expression(ExprKind::kFunctionCall), func_(func), args_(std::move(args)) {}
+
+  ScalarFunc func() const { return func_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+  Result<Value> Eval(const Tuple& tuple) const override;
+  Status Bind(const Schema& schema) override;
+  ExprPtr Clone() const override;
+  std::string ToString() const override;
+  void CollectColumnRefs(std::vector<const ColumnRefExpr*>* out) const override;
+  void CollectColumnRefsMutable(std::vector<ColumnRefExpr*>* out) override;
+  void ChildSlots(std::vector<ExprPtr*>* out) override {
+    for (ExprPtr& a : args_) out->push_back(&a);
+  }
+
+ private:
+  ScalarFunc func_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Looks up a scalar function by its lower-case SQL name; false if unknown.
+bool LookupScalarFunc(const std::string& name, ScalarFunc* out);
 
 /// Appends the owning slots of every ParameterExpr under `*root` (including
 /// `root` itself), in source order. The slots stay valid while the tree is

@@ -81,6 +81,42 @@ ExprPtr FoldConstants(ExprPtr expr) {
       if (kept.size() == 1) return std::move(kept[0]);
       return std::make_unique<LogicalExpr>(op, std::move(kept));
     }
+    case ExprKind::kCase: {
+      // Fold every branch, drop arms whose WHEN folded to false/NULL, and
+      // collapse the whole CASE when a leading WHEN folded to true.
+      auto* c = static_cast<CaseExpr*>(expr.get());
+      std::vector<ExprPtr> whens, thens;
+      for (size_t i = 0; i < c->num_arms(); ++i) {
+        ExprPtr w = FoldConstants(c->when_at(i)->Clone());
+        ExprPtr t = FoldConstants(c->then_at(i)->Clone());
+        if (IsLiteral(*w)) {
+          const Value& v = static_cast<const LiteralExpr&>(*w).value();
+          bool is_true = !v.is_null() && v.type() == TypeId::kBool && v.AsBool();
+          if (is_true && whens.empty()) return t;  // first live arm always taken
+          if (!is_true) continue;                  // false/NULL arm never taken
+        }
+        whens.push_back(std::move(w));
+        thens.push_back(std::move(t));
+      }
+      ExprPtr else_expr =
+          c->else_expr() != nullptr ? FoldConstants(c->else_expr()->Clone()) : nullptr;
+      if (whens.empty()) {
+        return else_expr != nullptr ? std::move(else_expr) : MakeLiteral(Value::Null());
+      }
+      return std::make_unique<CaseExpr>(std::move(whens), std::move(thens),
+                                        std::move(else_expr));
+    }
+    case ExprKind::kFunctionCall: {
+      auto* f = static_cast<FunctionCallExpr*>(expr.get());
+      std::vector<ExprPtr> args;
+      bool all_const = true;
+      for (const ExprPtr& a : f->args()) {
+        args.push_back(FoldConstants(a->Clone()));
+        all_const = all_const && IsLiteral(*args.back());
+      }
+      ExprPtr folded = std::make_unique<FunctionCallExpr>(f->func(), std::move(args));
+      return all_const ? TryEval(std::move(folded)) : std::move(folded);
+    }
   }
   return expr;
 }

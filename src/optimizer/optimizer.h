@@ -17,6 +17,15 @@ struct OptimizerOptions {
   double cpu_weight = Cost::kDefaultCpuWeight;
   /// Buffer pool pages the cost model assumes (should match the real pool).
   size_t buffer_pages = 256;
+  /// Cost for vectorized (batch) execution: scales the per-tuple CPU weight
+  /// by Cost::kVectorizedCpuFactor. Set from the session's execution mode so
+  /// estimates track the engine the plan will actually run on.
+  bool vectorized = false;
+
+  /// The CPU weight the cost model should use, execution mode applied.
+  double effective_cpu_weight() const {
+    return vectorized ? cpu_weight * Cost::kVectorizedCpuFactor : cpu_weight;
+  }
   /// Bypass all optimization: translate the binder's plan 1:1 (SeqScans,
   /// NLJs in FROM order, WHERE evaluated on top). The rewrite-ablation
   /// baseline.
@@ -42,7 +51,7 @@ class Optimizer {
   Optimizer(const Catalog* catalog, OptimizerOptions options)
       : catalog_(catalog),
         options_(std::move(options)),
-        cost_model_(options_.buffer_pages, options_.cpu_weight) {}
+        cost_model_(options_.buffer_pages, options_.effective_cpu_weight()) {}
 
   /// Consumes the logical plan.
   Result<PhysicalPtr> Optimize(LogicalPtr plan, OptimizeInfo* info = nullptr);

@@ -104,7 +104,8 @@ class Parser {
     static const char* kReserved[] = {"select", "from",  "where", "group", "having", "order",
                                       "limit",  "join",  "on",    "and",   "or",     "not",
                                       "as",     "inner", "by",    "asc",   "desc",   "values",
-                                      "union",  "cross"};
+                                      "union",  "cross", "case",  "when",  "then",   "else",
+                                      "end"};
     for (const char* w : kReserved) {
       if (t.IsWord(w)) return true;
     }
@@ -531,6 +532,35 @@ class Parser {
         Advance();
         return MakeLiteral(Value::Bool(false));
       }
+      if (t.IsWord("case")) {
+        Advance();
+        // Simple CASE carries an operand before the first WHEN; it is
+        // lowered here into searched form (operand = value per arm) so the
+        // binder and both evaluation engines see one CASE shape.
+        ExprPtr operand;
+        if (!Peek().IsWord("when")) {
+          RELOPT_ASSIGN_OR_RETURN(operand, ParseExpression());
+        }
+        std::vector<ExprPtr> whens, thens;
+        while (MatchWord("when")) {
+          RELOPT_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpression());
+          if (operand != nullptr) {
+            cond = MakeComparison(CompareOp::kEq, operand->Clone(), std::move(cond));
+          }
+          RELOPT_RETURN_NOT_OK(ExpectWord("then"));
+          RELOPT_ASSIGN_OR_RETURN(ExprPtr then, ParseExpression());
+          whens.push_back(std::move(cond));
+          thens.push_back(std::move(then));
+        }
+        if (whens.empty()) return Error("CASE needs at least one WHEN arm");
+        ExprPtr else_expr;
+        if (MatchWord("else")) {
+          RELOPT_ASSIGN_OR_RETURN(else_expr, ParseExpression());
+        }
+        RELOPT_RETURN_NOT_OK(ExpectWord("end"));
+        return ExprPtr(std::make_unique<CaseExpr>(std::move(whens), std::move(thens),
+                                                  std::move(else_expr)));
+      }
       // Aggregate call?
       std::optional<AggFunc> agg;
       if (t.IsWord("count")) agg = AggFunc::kCount;
@@ -548,6 +578,28 @@ class Parser {
         RELOPT_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpression());
         RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
         return ExprPtr(std::make_unique<AggregateCallExpr>(*agg, std::move(arg)));
+      }
+      // Scalar function call? Names are not reserved: only `ident(` forms a
+      // call, so tables/columns may still shadow these names.
+      if (Peek(1).IsSymbol("(")) {
+        std::string fname = t.text;
+        for (char& ch : fname) {
+          if (ch >= 'A' && ch <= 'Z') ch = static_cast<char>(ch - 'A' + 'a');
+        }
+        ScalarFunc sf;
+        if (LookupScalarFunc(fname, &sf)) {
+          Advance();  // name
+          Advance();  // (
+          std::vector<ExprPtr> fargs;
+          if (!Peek().IsSymbol(")")) {
+            do {
+              RELOPT_ASSIGN_OR_RETURN(ExprPtr a, ParseExpression());
+              fargs.push_back(std::move(a));
+            } while (MatchSymbol(","));
+          }
+          RELOPT_RETURN_NOT_OK(ExpectSymbol(")"));
+          return ExprPtr(std::make_unique<FunctionCallExpr>(sf, std::move(fargs)));
+        }
       }
       // Column reference: ident or ident.ident. Reserved clause keywords
       // cannot name columns (catches "SELECT FROM t" and friends).

@@ -21,6 +21,13 @@ struct Cost {
   /// Weight of one tuple of CPU relative to one page I/O (System R's "W").
   static constexpr double kDefaultCpuWeight = 0.01;
 
+  /// Multiplier on the CPU weight under vectorized (batch) drive: compiled
+  /// column kernels and amortized per-batch dispatch make one tuple of CPU
+  /// several times cheaper than the row-at-a-time Volcano loop, so plans that
+  /// trade I/O for CPU (e.g. hash join over index nested loop) win earlier.
+  /// Calibrated against bench_vectorized / bench_expr batch-vs-row ratios.
+  static constexpr double kVectorizedCpuFactor = 0.25;
+
   double Total(double cpu_weight = kDefaultCpuWeight) const {
     return page_ios + cpu_weight * cpu_tuples;
   }

@@ -31,6 +31,14 @@ class TupleBatch {
   }
 
   size_t capacity() const { return capacity_; }
+
+  /// Re-caps how many rows fit before Full(). LIMIT shrinks the batch it
+  /// hands its child to the rows it still needs, so a producer that does
+  /// real work per row (external-sort merge, scan) stops at the limit
+  /// instead of filling a whole batch that gets truncated — keeping page
+  /// I/O identical to the row-at-a-time loop. Shrinking below NumRows()
+  /// only stops further appends; existing rows stay.
+  void SetCapacity(size_t capacity) { capacity_ = capacity == 0 ? 1 : capacity; }
   /// Rows physically stored (selected or not).
   size_t NumRows() const { return num_rows_; }
   /// Rows surviving the selection vector.

@@ -330,6 +330,7 @@ const EngineMetrics& EngineMetrics::Get() {
         r.histogram("relopt.optimizer.optimize_us", MetricHistogram::LatencyBucketsUs());
     m.exec_rows_produced = r.counter("relopt.exec.rows_produced");
     m.exec_batches_produced = r.counter("relopt.exec.batches_produced");
+    m.exec_batch_fallback_rows = r.counter("relopt.exec.batch_fallback_rows");
     m.exec_statements_failed = r.counter("relopt.exec.statements_failed");
     m.engine_statement_us =
         r.histogram("relopt.engine.statement_us", MetricHistogram::LatencyBucketsUs());

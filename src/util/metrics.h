@@ -198,6 +198,7 @@ struct EngineMetrics {
   // executor / engine
   MetricCounter* exec_rows_produced;
   MetricCounter* exec_batches_produced;
+  MetricCounter* exec_batch_fallback_rows;
   MetricCounter* exec_statements_failed;
   MetricHistogram* engine_statement_us;
   MetricHistogram* engine_statement_rows;

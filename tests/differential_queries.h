@@ -73,6 +73,25 @@ const char* const kDifferentialQueries[] = {
     "SELECT dept_id % 3, count(*), sum(salary) FROM emp GROUP BY dept_id % 3",
     "SELECT emp.dept_id, count(*), min(dept.dname) FROM emp, dept "
     "WHERE emp.dept_id = dept.id GROUP BY emp.dept_id",
+    // --- expression-heavy additions (batch expression engine) --------------
+    "SELECT id, (salary + id * 3) * 2 - salary / 4 FROM emp "
+    "WHERE (salary - 1000) * 2 > id + 500",
+    "SELECT id, salary / (id % 5) FROM emp WHERE id < 40",
+    "SELECT id, CASE WHEN salary > 5000 THEN 'high' WHEN salary > 2500 THEN 'mid' "
+    "ELSE 'low' END FROM emp",
+    "SELECT CASE WHEN b IS NULL THEN 0 - 1 ELSE b / 10 END, count(*) FROM nulls_t "
+    "GROUP BY CASE WHEN b IS NULL THEN 0 - 1 ELSE b / 10 END",
+    "SELECT id FROM emp WHERE id % 7 = 0 OR salary % 10 = 3 "
+    "OR (dept_id = 2 AND salary > 4000) OR name = 'e17'",
+    "SELECT a, coalesce(b, a * 100, 7) FROM nulls_t "
+    "WHERE nullif(a % 3, 0) IS NULL OR b IS NOT NULL",
+    "SELECT upper(name), length(name) + id FROM emp WHERE lower(name) < 'e3'",
+    "SELECT e.id, d.dname FROM emp e, dept d "
+    "WHERE e.dept_id + 1 = d.id + 1 AND abs(e.salary - 3000) < 1500",
+    "SELECT name, salary FROM emp ORDER BY salary % 1000 DESC, length(name) ASC, id ASC "
+    "LIMIT 40",
+    "SELECT dept_id, sum(CASE WHEN salary > 3000 THEN salary ELSE 0 END) FROM emp "
+    "GROUP BY dept_id",
 };
 
 /// The GROUP BY / global aggregate subset, the target of the exact-profile

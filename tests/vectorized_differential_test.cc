@@ -11,6 +11,7 @@
 #include "differential_queries.h"
 #include "exec/plan_profile.h"
 #include "test_util.h"
+#include "util/metrics.h"
 
 namespace relopt {
 namespace {
@@ -273,6 +274,64 @@ TEST_F(VectorizedDifferentialTest, NullHeavyPredicates) {
   for (const char* q : null_queries) {
     for (size_t bs : kBatchSizes) CheckRowVsVectorized(q, bs);
   }
+}
+
+// --- batch fallback accounting ---------------------------------------------
+
+/// Flattens a profile tree into (op, fallback_rows) in pre-order.
+void FlattenFallback(const OperatorProfile& p,
+                     std::vector<std::pair<std::string, uint64_t>>* out) {
+  out->emplace_back(p.op, p.stats.fallback_rows);
+  for (const OperatorProfile& c : p.children) FlattenFallback(c, out);
+}
+
+TEST_F(VectorizedDifferentialTest, ConvertedOperatorsNeverFallBackAcrossCorpus) {
+  // Every operator with a native batch implementation must process the whole
+  // corpus through compiled kernels: zero rows through the row-loop adapter
+  // or a compiled-tree FallbackNode, at every batch size and parallelism.
+  const char* const converted[] = {"SeqScan", "Filter",    "Project",
+                                   "HashJoin", "Sort",     "Aggregate"};
+  for (const char* q : kDifferentialQueries) {
+    for (size_t parallelism : {1u, 2u, 4u, 8u}) {
+      db_.set_parallelism(parallelism);
+      for (size_t bs : {size_t{7}, size_t{1024}}) {
+        RunVectorized(q, bs);
+        ASSERT_TRUE(db_.last_profile().valid) << q;
+        std::vector<std::pair<std::string, uint64_t>> ops;
+        FlattenFallback(db_.last_profile().root, &ops);
+        for (const auto& [op, fallback] : ops) {
+          for (const char* c : converted) {
+            if (op == c) {
+              EXPECT_EQ(fallback, 0u) << op << " fell back on: " << q << " @ parallelism "
+                                      << parallelism << " batch_size " << bs;
+            }
+          }
+        }
+      }
+      db_.set_parallelism(1);
+    }
+  }
+}
+
+TEST_F(VectorizedDifferentialTest, FallbackRowsSurfaceInProfileAndMetric) {
+  // A non-equi self join has no hash/merge path; the nested-loop join keeps
+  // its row implementation, so batch drive routes it through the counting
+  // adapter: the per-operator profile and the engine-wide counter both move.
+  const uint64_t before = EngineMetrics::Get().exec_batch_fallback_rows->value();
+  RunVectorized(
+      "SELECT e.id, e2.id FROM emp e, emp e2 "
+      "WHERE e.id < 12 AND e2.id < 12 AND e.salary < e2.salary",
+      64);
+  ASSERT_TRUE(db_.last_profile().valid);
+  std::vector<std::pair<std::string, uint64_t>> ops;
+  FlattenFallback(db_.last_profile().root, &ops);
+  uint64_t total_fallback = 0;
+  for (const auto& [op, fallback] : ops) total_fallback += fallback;
+  EXPECT_GT(total_fallback, 0u);
+  EXPECT_GT(EngineMetrics::Get().exec_batch_fallback_rows->value(), before);
+  // EXPLAIN ANALYZE renders the counter in both formats.
+  EXPECT_NE(db_.last_profile().ToText().find("fallback="), std::string::npos);
+  EXPECT_NE(db_.last_profile().ToJson().find("\"fallback_rows\":"), std::string::npos);
 }
 
 TEST_F(VectorizedDifferentialTest, SetVectorizedIsReversible) {
