@@ -7,8 +7,9 @@
 //   \tables             list tables (with row/page counts)
 //   \stats <table>      show ANALYZE statistics
 //   \metrics            counters from the last query
-//   \mode <dp|leftdeep|greedy|exhaustive|random|worst|naive>   optimizer mode
+//   \mode <dp|leftdeep|greedy|exhaustive|random|worst|simpli2|naive>   optimizer mode
 //   \stats_mode <nostats|systemr|histogram>                    estimation mode
+//   \feedback <on|off>  cardinality feedback (harvest actuals, reuse next time)
 //   \parallel <n>       worker threads for SELECT execution (1 = serial)
 //   \demo               load a small demo dataset
 //   \quit
@@ -30,8 +31,9 @@ void PrintHelp() {
   std::cout <<
       "SQL: CREATE TABLE/INDEX, INSERT, DELETE, ANALYZE, SELECT, EXPLAIN [ANALYZE]\n"
       "  \\help  \\tables  \\stats <t>  \\metrics  \\demo  \\quit\n"
-      "  \\mode <dp|leftdeep|greedy|exhaustive|random|worst|naive>\n"
+      "  \\mode <dp|leftdeep|greedy|exhaustive|random|worst|simpli2|naive>\n"
       "  \\stats_mode <nostats|systemr|histogram>\n"
+      "  \\feedback <on|off>   cardinality feedback (see relopt_feedback())\n"
       "  \\parallel <n>   worker threads for SELECT execution (1 = serial)\n";
 }
 
@@ -87,6 +89,8 @@ bool SetMode(Database* db, const std::string& mode) {
     opt.join.algorithm = JoinEnumAlgorithm::kRandom;
   } else if (mode == "worst") {
     opt.join.algorithm = JoinEnumAlgorithm::kWorst;
+  } else if (mode == "simpli2") {
+    opt.join.algorithm = JoinEnumAlgorithm::kSimpliSquared;
   } else if (mode == "naive") {
     opt.naive = true;
   } else {
@@ -154,6 +158,13 @@ int main() {
         std::cout << (SetMode(&db, arg) ? "ok\n" : "unknown mode '" + arg + "'\n");
       } else if (cmd == "stats_mode") {
         std::cout << (SetStatsMode(&db, arg) ? "ok\n" : "unknown stats mode '" + arg + "'\n");
+      } else if (cmd == "feedback") {
+        if (arg == "on" || arg == "off") {
+          db.set_cardinality_feedback(arg == "on");
+          std::cout << "cardinality feedback " << arg << "\n";
+        } else {
+          std::cout << "usage: \\feedback <on|off>\n";
+        }
       } else if (cmd == "parallel") {
         int n = std::atoi(arg.c_str());
         if (n >= 1) {

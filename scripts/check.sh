@@ -50,11 +50,23 @@ echo "== metrics smoke (asan) =="
 ./build-asan/tests/relopt_tests \
   --gtest_filter='*IntrospectionMatrixTest*:IntrospectionTest.*'
 
+echo "== feedback smoke (asan) =="
+# Cardinality-feedback loop under ASAN: store semantics, harvest/override
+# round trips, plan-cache re-optimization, and the feedback-on-vs-off
+# differential corpus (results may never change, only plans).
+./build-asan/tests/relopt_tests --gtest_filter='*Feedback*'
+
+echo "== bench_feedback smoke (asan) =="
+# Tiny row count: drives all four cardinality arms (nostats / estimates /
+# feedback x1 / converged) and asserts identical results with the converged
+# plan reading no more pages than the estimate-picked one.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_feedback 2000
+
 echo "== tsan build (concurrency tests) =="
 cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate|Metrics|QueryHistory|Introspection|LoggingConcurrency|PlanCache|PreparedStatement|SessionConcurrency|SessionHistory'
+  -R 'ThreadPool|BufferPoolStress|ParallelDifferential|Vectorized|Aggregate|Metrics|QueryHistory|Introspection|LoggingConcurrency|PlanCache|PreparedStatement|SessionConcurrency|SessionHistory|Feedback'
 
 echo "== metrics smoke (tsan) =="
 # Same attribution check with instrumented atomics: counter updates come from
@@ -81,5 +93,10 @@ echo "== bench_serving smoke (tsan) =="
 # Up to 8 sessions hammer the shared plan cache, statement lock, and query
 # history concurrently; TSan checks every cross-session hand-off.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_serving 20
+
+echo "== bench_feedback smoke (tsan) =="
+# The shared FeedbackStore takes concurrent record/lookup traffic from the
+# harvest and optimize paths; TSan checks the store's locking discipline.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_feedback 2000
 
 echo "All checks passed."

@@ -130,6 +130,14 @@ void Database::set_vectorized(bool on) { default_session_->set_vectorized(on); }
 
 bool Database::vectorized() const { return default_session_->vectorized(); }
 
+void Database::set_cardinality_feedback(bool on) {
+  default_session_->set_cardinality_feedback(on);
+}
+
+bool Database::cardinality_feedback() const {
+  return default_session_->cardinality_feedback();
+}
+
 void Database::set_batch_size(size_t n) { default_session_->set_batch_size(n); }
 
 size_t Database::batch_size() const { return default_session_->batch_size(); }

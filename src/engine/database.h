@@ -46,6 +46,11 @@ struct SessionOptions {
   size_t batch_size = TupleBatch::kDefaultCapacity;
   /// Intra-query parallelism for this session's statements (1 = serial).
   size_t parallelism = 1;
+  /// Cardinality feedback (LEO-style): harvest per-operator actuals after
+  /// each successful SELECT into the Database's shared FeedbackStore and let
+  /// them override the statistical estimates on the next optimization of a
+  /// matching (table, conjuncts) or join signature. Off by default.
+  bool cardinality_feedback = false;
 };
 
 /// A fully materialized query result.
@@ -164,6 +169,15 @@ class Database {
   /// Toggles the default session's vectorized execution.
   void set_vectorized(bool on);
   bool vectorized() const;
+  /// Toggles the default session's cardinality feedback. The store itself is
+  /// shared by all sessions; this only controls whether the default session
+  /// consults and feeds it.
+  void set_cardinality_feedback(bool on);
+  bool cardinality_feedback() const;
+  /// The cardinality-feedback store shared by every session (also exposed
+  /// through SELECT * FROM relopt_feedback()).
+  FeedbackStore* feedback() { return &feedback_; }
+  const FeedbackStore* feedback() const { return &feedback_; }
   /// Default session's rows per batch under vectorized execution (>= 1).
   void set_batch_size(size_t n);
   size_t batch_size() const;
@@ -186,6 +200,7 @@ class Database {
   std::unique_ptr<ThreadPool> thread_pool_;
   PlanCache plan_cache_;
   QueryHistoryStore history_;
+  FeedbackStore feedback_;
 
   /// Statement-level reader/writer lock: SELECT/EXPLAIN shared, DML/DDL/
   /// ANALYZE exclusive. See the concurrency model in engine/session.h.

@@ -65,6 +65,11 @@ std::string PlanCacheKey(const std::string& sql, const OptimizerOptions& options
       j.enable_index_scans ? 1 : 0, j.max_candidates_per_set,
       static_cast<int>(options.stats_mode), options.cpu_weight, options.buffer_pages,
       options.naive ? 1 : 0, options.vectorized ? 1 : 0);
+  // The feedback-store version participates so cached plans optimized against
+  // stale observations miss and re-optimize (0 when feedback is off).
+  fp += StringPrintf("|fb%llu", options.feedback != nullptr
+                                    ? static_cast<unsigned long long>(options.feedback->version())
+                                    : 0ULL);
   return fp + "|" + NormalizeKeepingLiterals(sql);
 }
 

@@ -285,6 +285,7 @@ Result<PhysicalPtr> Session::OptimizeLogical(LogicalPtr logical, OptimizeInfo* i
   const uint64_t start_nanos = MonotonicNanos();
   options_.optimizer.buffer_pages = db_->pool_->capacity();
   options_.optimizer.vectorized = options_.vectorized;
+  options_.optimizer.feedback = options_.cardinality_feedback ? &db_->feedback_ : nullptr;
   if (trace_optimizer_ || want_trace) {
     last_trace_ = std::make_unique<PlanTrace>();
     info->trace = last_trace_.get();
@@ -302,7 +303,8 @@ Result<QueryResult> Session::ExecutePlanInternal(const PhysicalNode& plan) {
   ThreadPool* pool = options_.parallelism > 1 ? db_->thread_pool_.get() : nullptr;
   ExecContext ctx(db_->catalog_.get(), db_->pool_.get(), pool, options_.parallelism,
                   options_.vectorized ? options_.batch_size : 0);
-  ctx.set_introspection(&MetricsRegistry::Global(), &db_->history_, &db_->plan_cache_);
+  ctx.set_introspection(&MetricsRegistry::Global(), &db_->history_, &db_->plan_cache_,
+                        &db_->feedback_);
   QueryResult result;
   result.schema = plan.schema();
   uint64_t batches = 0;
@@ -361,6 +363,13 @@ Result<QueryResult> Session::ExecutePlanInternal(const PhysicalNode& plan) {
   em.exec_rows_produced->Add(result.rows.size());
   em.exec_batches_produced->Add(batches);
 
+  // Close the loop: per-operator actuals flow back into the shared store so
+  // the NEXT optimization of matching signatures uses measurements. Only
+  // complete executions feed back (an error mid-stream means partial counts).
+  if (options_.cardinality_feedback && status.ok() && profile_.valid) {
+    HarvestFeedback(plan, profile_, &db_->feedback_);
+  }
+
   RELOPT_RETURN_NOT_OK(status);
   return result;
 }
@@ -369,7 +378,11 @@ Result<QueryResult> Session::RunSelect(SelectStmt* stmt, const std::string* cach
   PlanCache& cache = db_->plan_cache_;
   options_.optimizer.buffer_pages = db_->pool_->capacity();
   options_.optimizer.vectorized = options_.vectorized;
+  options_.optimizer.feedback = options_.cardinality_feedback ? &db_->feedback_ : nullptr;
   const uint64_t catalog_version = db_->catalog_->version();
+  // The key embeds the feedback version: a harvested observation that
+  // materially changed the store makes every affected SELECT miss and
+  // re-optimize against the corrected cardinalities.
   std::string key = PlanCacheKey(stmt->text, options_.optimizer);
   if (cache_suffix != nullptr) key += *cache_suffix;
 
@@ -652,6 +665,26 @@ Result<QueryResult> Session::ExecuteStatement(Statement* stmt, bool* produced_ro
     result = RunStatement(stmt, produced_rows, cache_suffix);
     if (result.ok() && InvalidatesPlans(stmt->kind)) {
       db_->plan_cache_.InvalidateStale(db_->catalog_->version());
+      // Schema changes and fresh statistics retire feedback wholesale: old
+      // observations may describe dropped columns or superseded data.
+      db_->feedback_.Clear();
+    }
+    if (result.ok()) {
+      // DML changes the data the observations were measured on; drop only
+      // the affected table's entries.
+      switch (stmt->kind) {
+        case StatementKind::kInsert:
+          db_->feedback_.InvalidateTable(static_cast<InsertStmt*>(stmt)->table_name);
+          break;
+        case StatementKind::kDelete:
+          db_->feedback_.InvalidateTable(static_cast<DeleteStmt*>(stmt)->table_name);
+          break;
+        case StatementKind::kUpdate:
+          db_->feedback_.InvalidateTable(static_cast<UpdateStmt*>(stmt)->table_name);
+          break;
+        default:
+          break;
+      }
     }
   }
   const uint64_t wall_nanos = MonotonicNanos() - start_nanos;

@@ -105,6 +105,10 @@ class Session {
   bool vectorized() const { return options_.vectorized; }
   void set_batch_size(size_t n) { options_.batch_size = n == 0 ? 1 : n; }
   size_t batch_size() const { return options_.batch_size; }
+  /// Cardinality feedback for this session (consults and feeds the shared
+  /// Database store; see SessionOptions::cardinality_feedback).
+  void set_cardinality_feedback(bool on) { options_.cardinality_feedback = on; }
+  bool cardinality_feedback() const { return options_.cardinality_feedback; }
 
  private:
   friend class Database;

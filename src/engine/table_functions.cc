@@ -2,6 +2,7 @@
 
 #include "engine/plan_cache.h"
 #include "engine/query_history.h"
+#include "optimizer/feedback.h"
 #include "util/metrics.h"
 #include "util/str_util.h"
 
@@ -13,6 +14,7 @@ constexpr const char* kMetricsFn = "relopt_metrics";
 constexpr const char* kQueryLogFn = "relopt_query_log";
 constexpr const char* kOperatorStatsFn = "relopt_operator_stats";
 constexpr const char* kPlanCacheFn = "relopt_plan_cache";
+constexpr const char* kFeedbackFn = "relopt_feedback";
 
 Schema MetricsSchema() {
   Schema s;
@@ -58,6 +60,17 @@ Schema PlanCacheSchema() {
   s.AddColumn(Column("est_cost", TypeId::kDouble));
   s.AddColumn(Column("est_rows", TypeId::kDouble));
   s.AddColumn(Column("plan_root", TypeId::kString));
+  return s;
+}
+
+Schema FeedbackSchema() {
+  Schema s;
+  s.AddColumn(Column("kind", TypeId::kString));       // "scan" or "join"
+  s.AddColumn(Column("tables", TypeId::kString));     // comma-joined table names
+  s.AddColumn(Column("signature", TypeId::kString));
+  s.AddColumn(Column("value", TypeId::kDouble));      // rows (scan) / selectivity (join)
+  s.AddColumn(Column("updates", TypeId::kInt64));
+  s.AddColumn(Column("hits", TypeId::kInt64));
   return s;
 }
 
@@ -118,6 +131,17 @@ std::vector<Tuple> PlanCacheRows(const PlanCache* plan_cache) {
   return rows;
 }
 
+std::vector<Tuple> FeedbackRows(const FeedbackStore* feedback) {
+  std::vector<Tuple> rows;
+  if (feedback == nullptr) return rows;
+  for (const FeedbackStore::EntryInfo& e : feedback->Snapshot()) {
+    rows.push_back(Tuple({Value::String(e.kind), Value::String(e.tables),
+                          Value::String(e.signature), Value::Double(e.value),
+                          Value::Int(ToI64(e.updates)), Value::Int(ToI64(e.hits))}));
+  }
+  return rows;
+}
+
 std::vector<Tuple> OperatorStatsRows(const QueryHistoryStore* history) {
   std::vector<Tuple> rows;
   if (history == nullptr) return rows;
@@ -139,7 +163,7 @@ std::vector<Tuple> OperatorStatsRows(const QueryHistoryStore* history) {
 bool IsTableFunction(const std::string& name) {
   std::string lower = ToLower(name);
   return lower == kMetricsFn || lower == kQueryLogFn || lower == kOperatorStatsFn ||
-         lower == kPlanCacheFn;
+         lower == kPlanCacheFn || lower == kFeedbackFn;
 }
 
 Result<Schema> TableFunctionSchema(const std::string& name, const std::string& alias) {
@@ -153,6 +177,8 @@ Result<Schema> TableFunctionSchema(const std::string& name, const std::string& a
     s = OperatorStatsSchema();
   } else if (lower == kPlanCacheFn) {
     s = PlanCacheSchema();
+  } else if (lower == kFeedbackFn) {
+    s = FeedbackSchema();
   } else {
     return Status::NotFound("unknown table function '" + name + "'");
   }
@@ -162,7 +188,8 @@ Result<Schema> TableFunctionSchema(const std::string& name, const std::string& a
 Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
                                              const MetricsRegistry* metrics,
                                              const QueryHistoryStore* history,
-                                             const PlanCache* plan_cache) {
+                                             const PlanCache* plan_cache,
+                                             const FeedbackStore* feedback) {
   std::string lower = ToLower(name);
   if (lower == kMetricsFn) {
     if (metrics == nullptr) return Status::Internal("no metrics registry in execution context");
@@ -171,6 +198,7 @@ Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
   if (lower == kQueryLogFn) return QueryLogRows(history);
   if (lower == kOperatorStatsFn) return OperatorStatsRows(history);
   if (lower == kPlanCacheFn) return PlanCacheRows(plan_cache);
+  if (lower == kFeedbackFn) return FeedbackRows(feedback);
   return Status::NotFound("unknown table function '" + name + "'");
 }
 

@@ -4,6 +4,7 @@
 //   SELECT * FROM relopt_query_log()       -- retained QueryHistoryStore rows
 //   SELECT * FROM relopt_operator_stats()  -- per-operator est-vs-actual rows
 //   SELECT * FROM relopt_plan_cache()      -- shared plan-cache entries
+//   SELECT * FROM relopt_feedback()        -- cardinality-feedback entries
 //
 // A table function is a leaf scan over snapshot data: the binder resolves
 // the name to a fixed schema, the optimizer lowers it to a
@@ -24,6 +25,7 @@
 
 namespace relopt {
 
+class FeedbackStore;
 class MetricsRegistry;
 class PlanCache;
 class QueryHistoryStore;
@@ -36,11 +38,12 @@ bool IsTableFunction(const std::string& name);
 Result<Schema> TableFunctionSchema(const std::string& name, const std::string& alias);
 
 /// Materializes the function's rows from the current snapshots. `metrics`
-/// must be non-null for relopt_metrics(); `history` and `plan_cache` may be
-/// null (their functions then return no rows).
+/// must be non-null for relopt_metrics(); `history`, `plan_cache`, and
+/// `feedback` may be null (their functions then return no rows).
 Result<std::vector<Tuple>> EvalTableFunction(const std::string& name,
                                              const MetricsRegistry* metrics,
                                              const QueryHistoryStore* history,
-                                             const PlanCache* plan_cache);
+                                             const PlanCache* plan_cache,
+                                             const FeedbackStore* feedback);
 
 }  // namespace relopt

@@ -22,6 +22,7 @@ namespace relopt {
 class Executor;
 class MetricsRegistry;
 class PhysicalNode;
+class FeedbackStore;
 class PlanCache;
 class QueryHistoryStore;
 class ThreadPool;
@@ -108,14 +109,17 @@ class ExecContext {
   /// Null pointers are allowed (the functions then error or return no rows);
   /// the Database facade wires both before building executors.
   void set_introspection(const MetricsRegistry* metrics, const QueryHistoryStore* history,
-                         const PlanCache* plan_cache = nullptr) {
+                         const PlanCache* plan_cache = nullptr,
+                         const FeedbackStore* feedback = nullptr) {
     metrics_registry_ = metrics;
     query_history_ = history;
     plan_cache_ = plan_cache;
+    feedback_store_ = feedback;
   }
   const MetricsRegistry* metrics_registry() const { return metrics_registry_; }
   const QueryHistoryStore* query_history() const { return query_history_; }
   const PlanCache* plan_cache() const { return plan_cache_; }
+  const FeedbackStore* feedback_store() const { return feedback_store_; }
 
   // --- per-operator I/O attribution ---------------------------------------
 
@@ -175,6 +179,7 @@ class ExecContext {
   const MetricsRegistry* metrics_registry_ = nullptr;
   const QueryHistoryStore* query_history_ = nullptr;
   const PlanCache* plan_cache_ = nullptr;
+  const FeedbackStore* feedback_store_ = nullptr;
 };
 
 /// RAII attribution frame: the enclosed I/O is charged to `stats`; nested

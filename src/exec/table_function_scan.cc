@@ -5,8 +5,10 @@
 namespace relopt {
 
 Status TableFunctionScanExecutor::InitImpl() {
-  RELOPT_ASSIGN_OR_RETURN(rows_, EvalTableFunction(function_name_, ctx_->metrics_registry(),
-                                                   ctx_->query_history(), ctx_->plan_cache()));
+  RELOPT_ASSIGN_OR_RETURN(rows_,
+                          EvalTableFunction(function_name_, ctx_->metrics_registry(),
+                                            ctx_->query_history(), ctx_->plan_cache(),
+                                            ctx_->feedback_store()));
   pos_ = 0;
   ResetCounters();
   return Status::OK();

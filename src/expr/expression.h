@@ -123,6 +123,9 @@ class ColumnRefExpr : public Expression {
 
   const std::string& table() const { return table_; }
   const std::string& name() const { return name_; }
+  /// Rewrites the qualifier (feedback signatures render clones with bare
+  /// column names); invalidates nothing — binding is positional.
+  void set_table(std::string table) { table_ = std::move(table); }
   int bound_index() const { return bound_index_; }
   bool IsBound() const { return bound_index_ >= 0; }
 

@@ -40,6 +40,18 @@ void TracePath(PlanTrace* trace, const std::string& alias, std::string candidate
   trace->Add(std::move(ev));
 }
 
+/// The relation's cardinality-feedback signature: base table plus its
+/// single-table conjuncts rendered with bare column names (alias-free, so
+/// `fact f` and plain `fact` share observations).
+std::string ScanSignatureOf(const BaseRelation& rel) {
+  std::vector<std::string> sigs;
+  sigs.reserve(rel.conjuncts.size());
+  for (const ExprPtr& c : rel.conjuncts) {
+    sigs.push_back(FeedbackStore::RenderConjunct(*c, /*strip_qualifiers=*/true));
+  }
+  return FeedbackStore::ScanSignature(rel.table->name(), std::move(sigs));
+}
+
 RelStats StatsOf(const BaseRelation& rel) {
   RelStats s;
   if (rel.table->has_stats()) {
@@ -74,6 +86,14 @@ Result<std::vector<AccessPath>> EnumerateAccessPaths(const QueryGraph& graph, in
     total_sel *= s;
   }
   double out_rows = std::max(table.rows * total_sel, 0.0);
+
+  // Cardinality feedback: a previous execution observed this exact (table,
+  // conjuncts) combination — trust the measurement over the model, floored
+  // at one expected row like every estimate.
+  if (estimator.feedback() != nullptr) {
+    std::optional<double> observed = estimator.FeedbackScanRows(ScanSignatureOf(rel));
+    if (observed.has_value()) out_rows = std::max(*observed, 1.0);
+  }
 
   std::vector<AccessPath> paths;
 
@@ -195,6 +215,10 @@ Result<PhysicalPtr> BuildAccessPathPlan(const QueryGraph& graph, const AccessPat
     RELOPT_RETURN_NOT_OK(residual_expr->Bind(rel.schema));
   }
 
+  // The node whose actual output feeds the feedback store is the one that
+  // has applied ALL conjuncts: the Filter when one exists, else the scan.
+  std::string feedback_key = ScanSignatureOf(rel);
+
   if (path.index == nullptr) {
     PhysicalPtr scan =
         std::make_unique<PhysSeqScan>(rel.table->name(), rel.alias, rel.schema);
@@ -203,8 +227,10 @@ Result<PhysicalPtr> BuildAccessPathPlan(const QueryGraph& graph, const AccessPat
       PhysicalPtr filter =
           std::make_unique<PhysFilter>(std::move(scan), std::move(residual_expr));
       filter->SetEstimates(path.out_rows, path.cost);
+      filter->set_feedback_key(std::move(feedback_key));
       return filter;
     }
+    scan->set_feedback_key(std::move(feedback_key));
     return scan;
   }
 
@@ -216,6 +242,7 @@ Result<PhysicalPtr> BuildAccessPathPlan(const QueryGraph& graph, const AccessPat
   scan->hi_inclusive = path.hi_inclusive;
   scan->residual = std::move(residual_expr);
   scan->SetEstimates(path.out_rows, path.cost);
+  scan->set_feedback_key(std::move(feedback_key));
   return PhysicalPtr(std::move(scan));
 }
 

@@ -1,0 +1,133 @@
+// Cardinality feedback (LEO-style): the engine observing its own estimation
+// errors and correcting them on the next optimization.
+//
+// After each successful query (when SessionOptions::cardinality_feedback is
+// on), the session harvests per-operator actuals from the PlanProfile into
+// the Database's shared FeedbackStore, keyed on normalized signatures:
+//
+//   scan entries  s|<table>|<conjuncts>       -> actual output rows
+//   join entries  j|<relations>|<edges>|<..>  -> observed join selectivity
+//
+// On the next optimization the SelectivityEstimator consults the store and
+// overrides its statistical estimates with the observed values. The store's
+// version participates in the plan-cache key, so a feedback update forces a
+// re-optimization instead of replaying the stale cached plan; once the
+// observed values stop moving, the version stops moving and cached plans are
+// reused again.
+//
+// Invalidation: ANALYZE and DDL clear the whole store (new statistics or a
+// new schema retire old observations); successful DML invalidates only the
+// entries that mention the written table.
+//
+// Thread-safety: the store is shared by every session of a Database; all
+// methods take an internal mutex. Lookups during optimization run under the
+// shared statement lock, writes (harvest) also run under the shared lock —
+// the mutex, not the statement lock, is what makes concurrent readers and
+// writers safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expression.h"
+
+namespace relopt {
+
+struct PlanProfile;
+class PhysicalNode;
+
+/// \brief Shared per-Database store of observed cardinalities.
+class FeedbackStore {
+ public:
+  /// A relative change below this threshold does not bump the version (so
+  /// re-running a converged workload keeps hitting the plan cache).
+  static constexpr double kVersionBumpThreshold = 0.01;
+
+  /// One entry, snapshot form (relopt_feedback() rows).
+  struct EntryInfo {
+    std::string kind;       ///< "scan" or "join"
+    std::string tables;     ///< comma-separated base tables the entry covers
+    std::string signature;  ///< full normalized key
+    double value = 0;       ///< observed rows (scan) or selectivity (join)
+    uint64_t updates = 0;   ///< times recorded
+    uint64_t hits = 0;      ///< times an optimization used it
+  };
+
+  // --- signature construction (pure; shared by harvest and lookup) ---------
+
+  /// Normalized rendering of one predicate for a signature: qualifiers
+  /// stripped when `strip_qualifiers` (single-table conjuncts), identifiers
+  /// lower-cased outside string literals, literals preserved.
+  static std::string RenderConjunct(const Expression& expr, bool strip_qualifiers);
+
+  /// Scan key: `s|<table>|<conjuncts sorted and AND-joined>`. Conjuncts are
+  /// rendered with bare column names so the same predicate under different
+  /// aliases shares an entry.
+  static std::string ScanSignature(const std::string& table,
+                                   std::vector<std::string> conjunct_sigs);
+
+  /// Join key: `j|<alias:table tags sorted>|<edge sigs sorted>|<other
+  /// conjunct sigs sorted>`. Tags keep the alias so self-joins stay distinct.
+  static std::string JoinSignature(std::vector<std::string> rel_tags,
+                                   std::vector<std::string> edge_sigs,
+                                   std::vector<std::string> other_sigs);
+
+  // --- recording (harvest path) --------------------------------------------
+
+  /// Records the observed output cardinality of a scan signature. `tables`
+  /// lists the base tables the entry depends on (for DML invalidation).
+  void RecordScanRows(const std::string& signature, const std::vector<std::string>& tables,
+                      double actual_rows);
+  /// Records the observed selectivity of a join signature (output rows
+  /// divided by the product of input rows, clamped to [0, 1]).
+  void RecordJoinSelectivity(const std::string& signature,
+                             const std::vector<std::string>& tables, double selectivity);
+
+  // --- lookup (optimization path) ------------------------------------------
+
+  std::optional<double> LookupScanRows(const std::string& signature) const;
+  std::optional<double> LookupJoinSelectivity(const std::string& signature) const;
+
+  // --- invalidation ---------------------------------------------------------
+
+  /// Drops every entry (ANALYZE / DDL: the statistical world changed).
+  void Clear();
+  /// Drops entries that mention `table` (successful DML). Returns the number
+  /// dropped.
+  size_t InvalidateTable(const std::string& table);
+
+  // --- introspection --------------------------------------------------------
+
+  /// Monotonic version: bumped whenever an entry materially changes or is
+  /// invalidated. Participates in the plan-cache key.
+  uint64_t version() const;
+  size_t size() const;
+  std::vector<EntryInfo> Snapshot() const;
+
+ private:
+  struct Entry {
+    std::vector<std::string> tables;
+    double value = 0;
+    uint64_t updates = 0;
+    mutable uint64_t hits = 0;
+  };
+
+  void RecordLocked(const std::string& signature, const std::vector<std::string>& tables,
+                    double value);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t version_ = 0;
+};
+
+/// \brief Walks `plan` and `profile` in lockstep (the profile mirrors the
+/// plan tree 1:1) and records actuals for every node carrying a feedback key.
+/// Skipped entirely when the plan contains a LIMIT: partially consumed
+/// operators report partial actuals that would poison the store.
+void HarvestFeedback(const PhysicalNode& plan, const PlanProfile& profile, FeedbackStore* store);
+
+}  // namespace relopt

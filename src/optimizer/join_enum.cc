@@ -5,6 +5,7 @@
 
 #include "expr/conjuncts.h"
 #include "util/logging.h"
+#include "util/str_util.h"
 
 namespace relopt {
 
@@ -38,6 +39,8 @@ const char* JoinEnumAlgorithmToString(JoinEnumAlgorithm algorithm) {
       return "random";
     case JoinEnumAlgorithm::kWorst:
       return "worst";
+    case JoinEnumAlgorithm::kSimpliSquared:
+      return "simpli2";
   }
   return "?";
 }
@@ -166,9 +169,43 @@ std::vector<int> JoinEnumerator::NewOtherConjuncts(JoinSet left, JoinSet right) 
   return out;
 }
 
+std::string JoinEnumerator::FeedbackJoinSignature(JoinSet left, JoinSet right,
+                                                  const std::vector<int>& edges,
+                                                  const std::vector<int>& others) const {
+  std::vector<std::string> tags;
+  left.Union(right).ForEach([&](int r) {
+    const BaseRelation& rel = graph_->relations[r];
+    tags.push_back(ToLower(rel.alias) + ":" + ToLower(rel.table->name()));
+  });
+  std::vector<std::string> edge_sigs;
+  for (int e : edges) {
+    const JoinEdge& edge = graph_->edges[e];
+    std::string a =
+        ToLower(graph_->relations[edge.left_rel].alias) + "." + ToLower(edge.left_column);
+    std::string b =
+        ToLower(graph_->relations[edge.right_rel].alias) + "." + ToLower(edge.right_column);
+    if (b < a) std::swap(a, b);  // `a=b` and `b=a` are the same predicate
+    edge_sigs.push_back(a + "=" + b);
+  }
+  std::vector<std::string> other_sigs;
+  for (int o : others) {
+    other_sigs.push_back(
+        FeedbackStore::RenderConjunct(*graph_->other_conjuncts[o], /*strip_qualifiers=*/false));
+  }
+  return FeedbackStore::JoinSignature(std::move(tags), std::move(edge_sigs),
+                                      std::move(other_sigs));
+}
+
 double JoinEnumerator::JoinRows(const Candidate& l, const Candidate& r,
                                 const std::vector<int>& edges,
                                 const std::vector<int>& others) const {
+  // Cardinality feedback: an earlier execution measured this exact join's
+  // selectivity — trust it over the containment/independence model.
+  if (estimator_->feedback() != nullptr) {
+    std::optional<double> sel =
+        estimator_->FeedbackJoinSelectivity(FeedbackJoinSignature(l.set, r.set, edges, others));
+    if (sel.has_value()) return std::max(l.rows * r.rows * *sel, 1.0);
+  }
   double rows = l.rows * r.rows;
   for (int e : edges) {
     const JoinEdge& edge = graph_->edges[e];
@@ -656,6 +693,61 @@ Result<int> JoinEnumerator::RunRandom() {
   return current;
 }
 
+Result<int> JoinEnumerator::RunSimpliSquared() {
+  RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+  const int n = static_cast<int>(graph_->relations.size());
+
+  // The only "statistic" this strategy reads: base-table row counts, which
+  // are physical facts — no selectivity estimation anywhere in the ordering.
+  auto base_rows = [&](int r) {
+    const BaseRelation& rel = graph_->relations[r];
+    return rel.table->has_stats()
+               ? std::max<double>(1, static_cast<double>(rel.table->stats().num_rows))
+               : std::max<double>(1, static_cast<double>(rel.table->live_rows()));
+  };
+
+  int start = 0;
+  for (int i = 1; i < n; ++i) {
+    if (base_rows(i) < base_rows(start)) start = i;
+  }
+  const std::vector<int>& scands = dp_[JoinSet::Single(start)];
+  int current = scands.front();
+  for (int id : scands) {
+    if (cost_model_->Total(arena_[id].cost) < cost_model_->Total(arena_[current].cost)) {
+      current = id;
+    }
+  }
+  JoinSet remaining = JoinSet::AllUpTo(n).Minus(JoinSet::Single(start));
+
+  while (!remaining.Empty()) {
+    // Next: the smallest connected relation (cross products only when forced).
+    std::vector<int> connected_rels, all_rels;
+    remaining.ForEach([&](int r) {
+      all_rels.push_back(r);
+      if (!EdgesBetween(arena_[current].set, JoinSet::Single(r)).empty()) {
+        connected_rels.push_back(r);
+      }
+    });
+    std::vector<int>& pool = connected_rels.empty() ? all_rels : connected_rels;
+    int next = pool.front();
+    for (int r : pool) {
+      if (base_rows(r) < base_rows(next)) next = r;
+    }
+
+    const std::vector<int>& rcands = dp_[JoinSet::Single(next)];
+    std::vector<Candidate> cands;
+    for (int rid : rcands) EmitJoinCandidates(current, rid, &cands);
+    if (cands.empty()) return Status::Internal("simpli-squared enumeration found no join");
+    size_t best = 0;
+    for (size_t i = 1; i < cands.size(); ++i) {
+      if (cost_model_->Total(cands[i].cost) < cost_model_->Total(cands[best].cost)) best = i;
+    }
+    current = Intern(std::move(cands[best]));
+    remaining = remaining.Minus(JoinSet::Single(next));
+  }
+  return current;
+}
+
 Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
   if (graph_->relations.empty()) {
     return Status::InvalidArgument("join enumeration needs at least one relation");
@@ -726,6 +818,12 @@ Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
             required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
         break;
       }
+      case JoinEnumAlgorithm::kSimpliSquared: {
+        RELOPT_ASSIGN_OR_RETURN(final_id, RunSimpliSquared());
+        order_satisfied =
+            required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
+        break;
+      }
     }
   }
 
@@ -753,6 +851,12 @@ Result<PhysicalPtr> JoinEnumerator::BuildJoinPlan(const Candidate& cand) const {
   const Candidate& r = arena_[cand.right];
   std::vector<int> edges = EdgesBetween(l.set, r.set);
   std::vector<int> others = NewOtherConjuncts(l.set, r.set);
+
+  // Every two-child join node is stamped with its feedback signature so the
+  // harvester can attribute measured selectivity (out / (l x r)) to it. INLJ
+  // is excluded: with only one child in the plan tree, the inner actuals are
+  // not observable.
+  std::string feedback_key = FeedbackJoinSignature(l.set, r.set, edges, others);
 
   RELOPT_ASSIGN_OR_RETURN(PhysicalPtr left_plan, BuildPlan(cand.left));
 
@@ -844,6 +948,7 @@ Result<PhysicalPtr> JoinEnumerator::BuildJoinPlan(const Candidate& cand) const {
             std::max<size_t>(1, cost_model_->OperatorMemoryPages() - 2));
       }
       node->SetEstimates(cand.rows, cand.cost);
+      node->set_feedback_key(std::move(feedback_key));
       return node;
     }
     case JoinMethod::kSortMerge: {
@@ -875,6 +980,7 @@ Result<PhysicalPtr> JoinEnumerator::BuildJoinPlan(const Candidate& cand) const {
                                                       std::move(left_keys), std::move(right_keys),
                                                       std::move(residual_expr));
       node->SetEstimates(cand.rows, cand.cost);
+      node->set_feedback_key(std::move(feedback_key));
       return PhysicalPtr(std::move(node));
     }
     case JoinMethod::kHash: {
@@ -916,6 +1022,7 @@ Result<PhysicalPtr> JoinEnumerator::BuildJoinPlan(const Candidate& cand) const {
                                                  std::move(build_keys), std::move(probe_keys),
                                                  std::move(residual_expr), output_probe_first);
       node->SetEstimates(cand.rows, cand.cost);
+      node->set_feedback_key(std::move(feedback_key));
       return PhysicalPtr(std::move(node));
     }
     default:

@@ -35,6 +35,11 @@ enum class JoinEnumAlgorithm {
   kExhaustive,  ///< all left-deep permutations, cheapest method per step
   kRandom,      ///< one random left-deep permutation (cheapest methods)
   kWorst,       ///< DP maximizing cost over orders (methods still cheapest)
+  /// Simpli-Squared: estimate-free ordering. Left-deep, smallest base-table
+  /// row count first, then repeatedly add the connected relation with the
+  /// smallest base row count (cheapest method per step). The baseline that
+  /// shows how far plain table sizes get without any selectivity model.
+  kSimpliSquared,
 };
 
 const char* JoinEnumAlgorithmToString(JoinEnumAlgorithm algorithm);
@@ -142,6 +147,12 @@ class JoinEnumerator {
   Result<int> RunGreedy();
   Result<int> RunExhaustive();
   Result<int> RunRandom();
+  Result<int> RunSimpliSquared();
+
+  /// Cardinality-feedback signature of joining `left` x `right` over the
+  /// given edges and freshly applicable other-conjuncts.
+  std::string FeedbackJoinSignature(JoinSet left, JoinSet right, const std::vector<int>& edges,
+                                    const std::vector<int>& others) const;
 
   /// Best arena id for the full relation set honoring `required_order`
   /// (adds a Sort at materialization if unmet and `order_satisfied=false`).

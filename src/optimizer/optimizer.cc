@@ -63,7 +63,7 @@ Result<Optimizer::Translated> Optimizer::TranslateJoinBlock(LogicalPtr node,
   for (const BaseRelation& rel : graph.relations) {
     aliases_[ToLower(rel.alias)] = rel.table;
   }
-  SelectivityEstimator estimator(&aliases_, options_.stats_mode);
+  SelectivityEstimator estimator(&aliases_, options_.stats_mode, options_.feedback);
   JoinEnumOptions join_options = options_.join;
   join_options.trace = info->trace;
   JoinEnumerator enumerator(&graph, &estimator, &cost_model_, join_options);
@@ -142,7 +142,7 @@ Result<Optimizer::Translated> Optimizer::Translate(LogicalPtr node,
       RELOPT_ASSIGN_OR_RETURN(Translated child,
                               Translate(node->TakeChild(0), required_order, info));
       RELOPT_RETURN_NOT_OK(pred->Bind(child.plan->schema()));
-      SelectivityEstimator estimator(&aliases_, options_.stats_mode);
+      SelectivityEstimator estimator(&aliases_, options_.stats_mode, options_.feedback);
       double sel = estimator.EstimatePredicate(*pred);
       double rows = child.plan->est_rows() * sel;
       Cost cost = child.plan->est_cost() + cost_model_.Filter(child.plan->est_rows());
@@ -172,7 +172,7 @@ Result<Optimizer::Translated> Optimizer::Translate(LogicalPtr node,
         }
       }
       // Group count from catalog stats (NDVs, histograms, NULL groups).
-      SelectivityEstimator estimator(&aliases_, options_.stats_mode);
+      SelectivityEstimator estimator(&aliases_, options_.stats_mode, options_.feedback);
       double input_rows = std::max(child.plan->est_rows(), 1.0);
       double groups = estimator.EstimateGroupCount(group_by, input_rows);
       Cost cost = child.plan->est_cost() + cost_model_.Aggregate(input_rows, groups);

@@ -30,6 +30,10 @@ struct OptimizerOptions {
   /// NLJs in FROM order, WHERE evaluated on top). The rewrite-ablation
   /// baseline.
   bool naive = false;
+  /// Cardinality-feedback store to consult (not owned; nullptr = feedback
+  /// off). Observed scan cardinalities and join selectivities override the
+  /// statistical estimates for signatures the store has seen.
+  const FeedbackStore* feedback = nullptr;
 };
 
 /// What the optimizer did (for EXPLAIN and the enumeration benchmarks).

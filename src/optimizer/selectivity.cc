@@ -95,10 +95,33 @@ double SelectivityEstimator::EstimateEquiJoin(const std::string& left_alias,
                                               const std::string& right_col) const {
   double ndv_l = ColumnNdv(left_alias, left_col);
   double ndv_r = ColumnNdv(right_alias, right_col);
-  return 1.0 / std::max(1.0, std::max(ndv_l, ndv_r));
+  // NULL keys never join: only the non-NULL fraction of each side
+  // participates in the containment assumption.
+  const ColumnStats* stats_l = FindColumn(left_alias, left_col);
+  const ColumnStats* stats_r = FindColumn(right_alias, right_col);
+  double nn_l = stats_l != nullptr ? 1.0 - stats_l->null_fraction() : 1.0;
+  double nn_r = stats_r != nullptr ? 1.0 - stats_r->null_fraction() : 1.0;
+  double sel = nn_l * nn_r / std::max(1.0, std::max(ndv_l, ndv_r));
+  return std::clamp(sel, kMinSelectivity, 1.0);
+}
+
+double SelectivityEstimator::FloorFor(const SargablePred& pred) const {
+  const ColumnStats* stats = FindColumn(pred.table, pred.column);
+  if (stats != nullptr) {
+    double total = static_cast<double>(stats->num_non_null + stats->num_null);
+    if (total > 0) return std::min(1.0 / total, 1.0);
+  }
+  return kMinSelectivity;
 }
 
 double SelectivityEstimator::EstimateSargable(const SargablePred& pred) const {
+  // Floor every estimate at one expected row: exactly-zero selectivities
+  // collapse whole AND-chains and join cardinalities to zero and produce
+  // degenerate zero-cost plans.
+  return std::clamp(EstimateSargableRaw(pred), FloorFor(pred), 1.0);
+}
+
+double SelectivityEstimator::EstimateSargableRaw(const SargablePred& pred) const {
   const ColumnStats* stats = FindColumn(pred.table, pred.column);
   const bool have_hist =
       mode_ == StatsMode::kHistogram && stats != nullptr && !stats->histogram.Empty();
@@ -109,7 +132,8 @@ double SelectivityEstimator::EstimateSargable(const SargablePred& pred) const {
     case CompareOp::kEq: {
       if (have_hist) return non_null_frac * stats->histogram.EstimateEq(pred.constant);
       if (stats != nullptr && stats->ndv > 0) {
-        // Uniform over distinct values — but 0 outside [min, max].
+        // Uniform over distinct values — but 0 outside [min, max] (the
+        // caller floors this to one expected row).
         if (stats->min.has_value() && stats->max.has_value()) {
           Result<int> clo = pred.constant.Compare(*stats->min);
           Result<int> chi = pred.constant.Compare(*stats->max);
@@ -120,9 +144,11 @@ double SelectivityEstimator::EstimateSargable(const SargablePred& pred) const {
       return kDefaultEq;
     }
     case CompareOp::kNe: {
+      // NULLs satisfy neither `=` nor `!=`: the complement of the equality
+      // selectivity within the non-NULL fraction, not within all rows.
       SargablePred eq = pred;
       eq.op = CompareOp::kEq;
-      return std::clamp(1.0 - EstimateSargable(eq), 0.0, 1.0);
+      return std::clamp(non_null_frac - EstimateSargableRaw(eq), 0.0, 1.0);
     }
     case CompareOp::kLt:
     case CompareOp::kLe:

@@ -2,11 +2,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "catalog/catalog.h"
 #include "expr/conjuncts.h"
 #include "expr/expression.h"
+#include "optimizer/feedback.h"
 #include "util/result.h"
 
 namespace relopt {
@@ -32,10 +34,22 @@ using AliasMap = std::map<std::string, TableInfo*>;
 /// \brief Estimates predicate and join selectivities from catalog statistics.
 class SelectivityEstimator {
  public:
-  SelectivityEstimator(const AliasMap* aliases, StatsMode mode)
-      : aliases_(aliases), mode_(mode) {}
+  SelectivityEstimator(const AliasMap* aliases, StatsMode mode,
+                       const FeedbackStore* feedback = nullptr)
+      : aliases_(aliases), mode_(mode), feedback_(feedback) {}
 
   StatsMode mode() const { return mode_; }
+
+  /// The cardinality-feedback store to consult, or nullptr (feedback off).
+  const FeedbackStore* feedback() const { return feedback_; }
+  /// Observed output rows for a scan signature, if the store has seen it.
+  std::optional<double> FeedbackScanRows(const std::string& signature) const {
+    return feedback_ == nullptr ? std::nullopt : feedback_->LookupScanRows(signature);
+  }
+  /// Observed selectivity for a join signature, if the store has seen it.
+  std::optional<double> FeedbackJoinSelectivity(const std::string& signature) const {
+    return feedback_ == nullptr ? std::nullopt : feedback_->LookupJoinSelectivity(signature);
+  }
 
   /// Fraction of rows satisfying `expr` (a predicate over one or more
   /// relations; column refs are resolved through the alias map). Unknown
@@ -69,12 +83,23 @@ class SelectivityEstimator {
   static constexpr double kDefaultUnknown = 1.0 / 3.0;
   /// Distinct values assumed for a non-column grouping expression.
   static constexpr double kDefaultExprNdv = 10.0;
+  /// Selectivity floor when the table's row count is unknown. With stats the
+  /// floor is one expected row (1 / num_rows): an exactly-zero selectivity
+  /// multiplies through AND-chains and join cardinalities into degenerate
+  /// zero-cost plans that win every comparison.
+  static constexpr double kMinSelectivity = 1e-6;
 
  private:
   double EstimateSargable(const SargablePred& pred) const;
+  /// Raw (unfloored) estimate; kNe needs the unfloored equality term.
+  double EstimateSargableRaw(const SargablePred& pred) const;
+  /// One-expected-row floor for the column's table; kMinSelectivity when the
+  /// row count is unknown.
+  double FloorFor(const SargablePred& pred) const;
 
   const AliasMap* aliases_;
   StatsMode mode_;
+  const FeedbackStore* feedback_;
 };
 
 }  // namespace relopt

@@ -86,6 +86,12 @@ class PhysicalNode {
     est_cost_ = cost;
   }
 
+  /// Cardinality-feedback signature (optimizer/feedback.h); empty when this
+  /// node's actuals carry no feedback signal. Stamped at plan-build time so
+  /// the harvest after execution knows which store entry each actual feeds.
+  const std::string& feedback_key() const { return feedback_key_; }
+  void set_feedback_key(std::string key) { feedback_key_ = std::move(key); }
+
   virtual std::string Describe() const = 0;
   /// Indented tree with estimates.
   std::string ToString() const;
@@ -96,6 +102,7 @@ class PhysicalNode {
   std::vector<PhysicalPtr> children_;
   double est_rows_ = 0;
   Cost est_cost_;
+  std::string feedback_key_;
 };
 
 /// Full scan of a base table.

@@ -323,6 +323,9 @@ const EngineMetrics& EngineMetrics::Get() {
     m.optimizer_plan_cache_misses = r.counter("relopt.optimizer.plan_cache.misses");
     m.optimizer_plan_cache_evictions = r.counter("relopt.optimizer.plan_cache.evictions");
     m.optimizer_plan_cache_invalidations = r.counter("relopt.optimizer.plan_cache.invalidations");
+    m.optimizer_feedback_records = r.counter("relopt.optimizer.feedback.records");
+    m.optimizer_feedback_overrides = r.counter("relopt.optimizer.feedback.overrides");
+    m.optimizer_feedback_invalidations = r.counter("relopt.optimizer.feedback.invalidations");
     m.engine_sessions_opened = r.counter("relopt.engine.sessions_opened");
     m.engine_statements_prepared = r.counter("relopt.engine.statements_prepared");
     m.engine_prepared_executions = r.counter("relopt.engine.prepared_executions");

@@ -190,6 +190,9 @@ struct EngineMetrics {
   MetricCounter* optimizer_plan_cache_misses;
   MetricCounter* optimizer_plan_cache_evictions;
   MetricCounter* optimizer_plan_cache_invalidations;
+  MetricCounter* optimizer_feedback_records;        ///< actuals harvested into the store
+  MetricCounter* optimizer_feedback_overrides;      ///< estimates replaced by observations
+  MetricCounter* optimizer_feedback_invalidations;  ///< entries dropped (DDL/ANALYZE/DML)
   // serving layer
   MetricCounter* engine_sessions_opened;
   MetricCounter* engine_statements_prepared;

@@ -52,9 +52,22 @@ TEST_F(SelectivityTest, EqualityUsesNdv) {
   EXPECT_NEAR(sel, 0.01, 0.003);  // ndv ~100
 }
 
-TEST_F(SelectivityTest, EqualityOutsideRangeIsZero) {
-  EXPECT_DOUBLE_EQ(Estimate("k = 500", StatsMode::kSystemR), 0.0);
-  EXPECT_DOUBLE_EQ(Estimate("k = -1", StatsMode::kSystemR), 0.0);
+TEST_F(SelectivityTest, EqualityOutsideRangeFloorsAtOneRow) {
+  // Out-of-range constants used to estimate exactly 0, which collapses whole
+  // AND-chains and join cardinalities to zero-cost degenerate plans. The
+  // floor is one expected row: 1/10000.
+  EXPECT_DOUBLE_EQ(Estimate("k = 500", StatsMode::kSystemR), 1.0 / 10000);
+  EXPECT_DOUBLE_EQ(Estimate("k = -1", StatsMode::kSystemR), 1.0 / 10000);
+}
+
+TEST_F(SelectivityTest, SargableSelectivityNeverZero) {
+  // Every sargable estimate is floored at one expected row, in every mode
+  // that has stats to estimate with.
+  for (StatsMode mode : {StatsMode::kSystemR, StatsMode::kHistogram}) {
+    for (const char* pred : {"k = 12345", "k < -50", "k > 1000", "id = 999999"}) {
+      EXPECT_GE(Estimate(pred, mode), 1.0 / 10000) << pred;
+    }
+  }
 }
 
 TEST_F(SelectivityTest, RangeInterpolatesMinMax) {
@@ -86,9 +99,39 @@ TEST_F(SelectivityTest, NotComplements) {
 }
 
 TEST_F(SelectivityTest, NeComplementsEq) {
+  // k has no NULLs, so != is the exact complement of = (within 1e-9).
   double eq = Estimate("k = 50", StatsMode::kSystemR);
   double ne = Estimate("k <> 50", StatsMode::kSystemR);
   EXPECT_NEAR(eq + ne, 1.0, 1e-9);
+}
+
+TEST_F(SelectivityTest, NeExcludesNulls) {
+  // NULLs satisfy neither `=` nor `!=`. With 30% NULLs, `x != c` selects the
+  // non-NULL fraction minus the equality fraction — NOT 1 - eq, which would
+  // wrongly count the NULL rows as matching.
+  TableSpec spec;
+  spec.name = "nn";
+  spec.num_rows = 1000;
+  ColumnSpec col = ColumnSpec::Uniform("x", 0, 9);
+  col.null_fraction = 0.3;
+  spec.columns = {col};
+  ASSERT_TRUE(GenerateTable(&db_, spec).ok());
+  aliases_["nn"] = *db_.catalog()->GetTable("nn");
+
+  Result<StatementPtr> stmt = ParseStatement("SELECT 1 FROM nn WHERE x <> 5");
+  ASSERT_TRUE(stmt.ok());
+  auto* select = static_cast<SelectStmt*>(stmt->get());
+  TableInfo* nn = *db_.catalog()->GetTable("nn");
+  ASSERT_TRUE(select->where->Bind(nn->schema().WithQualifier("nn")).ok());
+  SelectivityEstimator est(&aliases_, StatsMode::kSystemR);
+  double ne = est.EstimatePredicate(*select->where);
+
+  // Ground truth from the engine itself.
+  QueryResult r = tu::Sql(&db_, "SELECT count(*) FROM nn WHERE x <> 5");
+  double truth = static_cast<double>(r.rows[0].At(0).AsInt()) / 1000.0;
+  EXPECT_NEAR(ne, truth, 0.05);
+  // And decisively below the NULL-blind 1 - eq ~ 0.97.
+  EXPECT_LT(ne, 0.8);
 }
 
 TEST_F(SelectivityTest, HistogramBeatsUniformOnSkew) {
@@ -114,6 +157,26 @@ TEST_F(SelectivityTest, EquiJoinUsesMaxNdv) {
   EXPECT_NEAR(sel, 0.01, 0.004);
   // id columns: ndv 10000 vs 500 -> 1/10000.
   EXPECT_NEAR(est.EstimateEquiJoin("t", "id", "u", "id"), 1.0 / 10000, 1e-5);
+}
+
+TEST_F(SelectivityTest, EquiJoinScalesByNonNullFractions) {
+  // Join keys that are NULL never match: with 50% NULLs on one side the join
+  // selectivity must halve relative to the all-non-NULL containment estimate.
+  TableSpec spec;
+  spec.name = "half";
+  spec.num_rows = 1000;
+  ColumnSpec col = ColumnSpec::Uniform("k", 0, 9);
+  col.null_fraction = 0.5;
+  spec.columns = {col};
+  ASSERT_TRUE(GenerateTable(&db_, spec).ok());
+  aliases_["half"] = *db_.catalog()->GetTable("half");
+
+  SelectivityEstimator est(&aliases_, StatsMode::kSystemR);
+  double with_nulls = est.EstimateEquiJoin("half", "k", "u", "k");
+  // Analytical value: nn_half * nn_u / max(ndv) = 0.5 * 1.0 / 10.
+  EXPECT_NEAR(with_nulls, 0.5 / 10.0, 0.02);
+  // Strictly below the all-non-NULL containment estimate for the same pair.
+  EXPECT_LT(with_nulls, 1.0 / 10.0 - 0.02);
 }
 
 TEST_F(SelectivityTest, ColumnNdv) {
