@@ -7,7 +7,7 @@
 //   \tables             list tables (with row/page counts)
 //   \stats <table>      show ANALYZE statistics
 //   \metrics            counters from the last query
-//   \mode <dp|leftdeep|greedy|exhaustive|random|worst|simpli2|naive>   optimizer mode
+//   \mode <dp|dpccp|leftdeep|greedy|exhaustive|random|worst|simpli2|naive>   optimizer mode
 //   \stats_mode <nostats|systemr|histogram>                    estimation mode
 //   \feedback <on|off>  cardinality feedback (harvest actuals, reuse next time)
 //   \parallel <n>       worker threads for SELECT execution (1 = serial)
@@ -31,7 +31,7 @@ void PrintHelp() {
   std::cout <<
       "SQL: CREATE TABLE/INDEX, INSERT, DELETE, ANALYZE, SELECT, EXPLAIN [ANALYZE]\n"
       "  \\help  \\tables  \\stats <t>  \\metrics  \\demo  \\quit\n"
-      "  \\mode <dp|leftdeep|greedy|exhaustive|random|worst|simpli2|naive>\n"
+      "  \\mode <dp|dpccp|leftdeep|greedy|exhaustive|random|worst|simpli2|naive>\n"
       "  \\stats_mode <nostats|systemr|histogram>\n"
       "  \\feedback <on|off>   cardinality feedback (see relopt_feedback())\n"
       "  \\parallel <n>   worker threads for SELECT execution (1 = serial)\n";
@@ -79,6 +79,8 @@ bool SetMode(Database* db, const std::string& mode) {
   opt.naive = false;
   if (mode == "dp") {
     opt.join.algorithm = JoinEnumAlgorithm::kDpBushy;
+  } else if (mode == "dpccp") {
+    opt.join.algorithm = JoinEnumAlgorithm::kDpCcp;
   } else if (mode == "leftdeep") {
     opt.join.algorithm = JoinEnumAlgorithm::kDpLeftDeep;
   } else if (mode == "greedy") {

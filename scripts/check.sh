@@ -62,6 +62,12 @@ echo "== bench_feedback smoke (asan) =="
 # plan reading no more pages than the estimate-picked one.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_feedback 2000
 
+echo "== bench_join_order smoke (asan) =="
+# Shrunk sweeps: DPccp vs DP-bushy cost parity on every topology, the chain
+# scaling comparison, and the clique budget-fallback ladder. The binary
+# itself asserts cost equality and the expected ladder strategies.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-asan/bench/bench_join_order smoke
+
 echo "== tsan build (concurrency tests) =="
 cmake -B build-tsan -S . -DRELOPT_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -98,5 +104,10 @@ echo "== bench_feedback smoke (tsan) =="
 # The shared FeedbackStore takes concurrent record/lookup traffic from the
 # harvest and optimize paths; TSan checks the store's locking discipline.
 RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_feedback 2000
+
+echo "== bench_join_order smoke (tsan) =="
+# The enumeration is single-threaded; this run covers the metrics-export
+# atomics the optimizer feeds after each planned statement.
+RELOPT_BENCH_JSON_DIR="$(mktemp -d)" ./build-tsan/bench/bench_join_order smoke
 
 echo "All checks passed."

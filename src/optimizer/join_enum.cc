@@ -41,6 +41,8 @@ const char* JoinEnumAlgorithmToString(JoinEnumAlgorithm algorithm) {
       return "worst";
     case JoinEnumAlgorithm::kSimpliSquared:
       return "simpli2";
+    case JoinEnumAlgorithm::kDpCcp:
+      return "dpccp";
   }
   return "?";
 }
@@ -481,14 +483,29 @@ Result<int> JoinEnumerator::PickFinal(const std::vector<int>& full_set_candidate
 Result<int> JoinEnumerator::RunDp(bool left_deep_only, bool maximize) {
   maximize_ = maximize;
   RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+  BuildAdjacency();
   const int n = static_cast<int>(graph_->relations.size());
   const uint64_t full = JoinSet::AllUpTo(n).bits();
+
+  // Fast path for avoid_cross_products on a connected graph: a subset whose
+  // induced join graph is disconnected can only be built by a cross-product
+  // join, and (the graph being connected) the full set is always reachable
+  // through connected subsets alone — so disconnected subsets are skipped
+  // before any split gathering or candidate generation. On a disconnected
+  // graph cross products are forced somewhere, so the old late split
+  // filtering is kept as-is.
+  const bool skip_disconnected =
+      options_.avoid_cross_products && SubsetConnected(JoinSet(full));
 
   for (uint64_t mask = 1; mask <= full; ++mask) {
     JoinSet set(mask);
     if (!set.IsSubsetOf(JoinSet(full))) continue;
     if (set.Count() < 2) continue;
     stats_.subsets_visited++;
+    if (skip_disconnected && !SubsetConnected(set)) {
+      stats_.disconnected_subsets_skipped++;
+      continue;
+    }
 
     // Gather splits: (L, R) ordered pairs.
     std::vector<std::pair<JoinSet, JoinSet>> splits;
@@ -521,12 +538,12 @@ Result<int> JoinEnumerator::RunDp(bool left_deep_only, bool maximize) {
 
     std::vector<Candidate> candidates;
     for (const auto& [left_set, right_set] : splits) {
-      if (options_.avoid_cross_products && any_connected && !connected({left_set, right_set})) {
-        continue;
-      }
       auto lit = dp_.find(left_set);
       auto rit = dp_.find(right_set);
       if (lit == dp_.end() || rit == dp_.end()) continue;
+      if (options_.avoid_cross_products && any_connected && !connected({left_set, right_set})) {
+        continue;
+      }
       for (int lid : lit->second) {
         for (int rid : rit->second) {
           EmitJoinCandidates(lid, rid, &candidates);
@@ -748,6 +765,206 @@ Result<int> JoinEnumerator::RunSimpliSquared() {
   return current;
 }
 
+// --- DPccp -----------------------------------------------------------------
+
+void JoinEnumerator::BuildAdjacency() {
+  const size_t n = graph_->relations.size();
+  adjacency_.assign(n, 0);
+  for (const JoinEdge& e : graph_->edges) {
+    adjacency_[e.left_rel] |= uint64_t{1} << e.right_rel;
+    adjacency_[e.right_rel] |= uint64_t{1} << e.left_rel;
+  }
+  // Hyperedge relaxation: an other_conjunct's relation set becomes a clique.
+  // This may connect relations whose predicate is not applicable at a given
+  // union (it needs all of the set); the costing pass re-checks and treats
+  // predicate-free cuts as forced cross products, matching RunDp.
+  for (const ExprPtr& c : graph_->other_conjuncts) {
+    Result<JoinSet> rels = graph_->RelationsOf(*c);
+    if (!rels.ok()) continue;
+    uint64_t bits = rels->bits();
+    rels->ForEach([&](int i) { adjacency_[i] |= bits & ~(uint64_t{1} << i); });
+  }
+}
+
+uint64_t JoinEnumerator::Neighborhood(uint64_t set, uint64_t excluded) const {
+  uint64_t nbr = 0;
+  JoinSet(set).ForEach([&](int i) { nbr |= adjacency_[i]; });
+  return nbr & ~set & ~excluded;
+}
+
+bool JoinEnumerator::SubsetConnected(JoinSet set) const {
+  if (set.Empty()) return false;
+  const uint64_t target = set.bits();
+  uint64_t reached = uint64_t{1} << set.Lowest();
+  while (true) {
+    uint64_t grown = reached;
+    JoinSet(reached).ForEach([&](int i) { grown |= adjacency_[i] & target; });
+    if (grown == reached) break;
+    reached = grown;
+  }
+  return reached == target;
+}
+
+namespace {
+/// Non-empty subsets of `mask` in increasing numeric order: start with
+/// FirstSubset, stop when NextSubset wraps to zero.
+inline uint64_t FirstSubset(uint64_t mask) { return mask & (~mask + 1); }
+inline uint64_t NextSubset(uint64_t sub, uint64_t mask) { return (sub - mask) & mask; }
+}  // namespace
+
+bool JoinEnumerator::EnumerateCsgCmpPairs(std::vector<CsgCmpPair>* out) {
+  const int n = static_cast<int>(graph_->relations.size());
+  bool over_budget = false;
+  // Start nodes descending; each start only grows into higher-numbered
+  // relations (the B_i prohibited sets), which is what makes every csg —
+  // and every csg-cmp pair — come out exactly once.
+  for (int i = n - 1; i >= 0 && !over_budget; --i) {
+    const uint64_t single = uint64_t{1} << i;
+    EmitCsg(single, out, &over_budget);
+    if (over_budget) break;
+    const uint64_t prohibited = (single - 1) | single;  // {0..i}
+    EnumerateCsgRec(single, prohibited, out, &over_budget);
+  }
+  return !over_budget;
+}
+
+void JoinEnumerator::EnumerateCsgRec(uint64_t set, uint64_t excluded,
+                                     std::vector<CsgCmpPair>* out, bool* over_budget) {
+  const uint64_t nbr = Neighborhood(set, excluded);
+  if (nbr == 0) return;
+  for (uint64_t sub = FirstSubset(nbr); sub != 0; sub = NextSubset(sub, nbr)) {
+    EmitCsg(set | sub, out, over_budget);
+    if (*over_budget) return;
+  }
+  for (uint64_t sub = FirstSubset(nbr); sub != 0; sub = NextSubset(sub, nbr)) {
+    EnumerateCsgRec(set | sub, excluded | nbr, out, over_budget);
+    if (*over_budget) return;
+  }
+}
+
+void JoinEnumerator::EmitCsg(uint64_t csg, std::vector<CsgCmpPair>* out, bool* over_budget) {
+  const int min_rel = JoinSet(csg).Lowest();
+  const uint64_t single_min = uint64_t{1} << min_rel;
+  // Complements only grow from relations above min(csg); the symmetric pairs
+  // are covered when the roles are reversed.
+  const uint64_t prohibited = csg | (single_min - 1) | single_min;
+  const uint64_t nbr = Neighborhood(csg, prohibited);
+  if (nbr == 0) return;
+  std::vector<int> starts;
+  JoinSet(nbr).ForEach([&](int i) { starts.push_back(i); });
+  for (size_t s = starts.size(); s-- > 0;) {
+    const int i = starts[s];
+    const uint64_t single = uint64_t{1} << i;
+    stats_.csg_cmp_pairs++;
+    out->push_back(CsgCmpPair{csg, single});
+    if (out->size() > options_.dp_budget) {
+      *over_budget = true;
+      return;
+    }
+    // Lower-numbered neighbors get their own start iteration; prohibit them
+    // here so each complement is enumerated from its minimal start node.
+    const uint64_t lower_neighbors = nbr & ((single - 1) | single);
+    EnumerateCmpRec(csg, single, prohibited | lower_neighbors, out, over_budget);
+    if (*over_budget) return;
+  }
+}
+
+void JoinEnumerator::EnumerateCmpRec(uint64_t csg, uint64_t cmp, uint64_t excluded,
+                                     std::vector<CsgCmpPair>* out, bool* over_budget) {
+  const uint64_t nbr = Neighborhood(cmp, excluded);
+  if (nbr == 0) return;
+  for (uint64_t sub = FirstSubset(nbr); sub != 0; sub = NextSubset(sub, nbr)) {
+    stats_.csg_cmp_pairs++;
+    out->push_back(CsgCmpPair{csg, cmp | sub});
+    if (out->size() > options_.dp_budget) {
+      *over_budget = true;
+      return;
+    }
+  }
+  for (uint64_t sub = FirstSubset(nbr); sub != 0; sub = NextSubset(sub, nbr)) {
+    EnumerateCmpRec(csg, cmp | sub, excluded | nbr, out, over_budget);
+    if (*over_budget) return;
+  }
+}
+
+Result<int> JoinEnumerator::RunDpCcp(std::vector<CsgCmpPair> pairs) {
+  maximize_ = false;
+  RELOPT_RETURN_NOT_OK(SeedBaseRelations());
+
+  // Process pairs grouped by union, smaller unions first: both sides of a
+  // partition are strictly smaller than the union, so every group only reads
+  // DP slots that are already final — emission order of the enumeration
+  // itself becomes irrelevant.
+  std::sort(pairs.begin(), pairs.end(), [](const CsgCmpPair& a, const CsgCmpPair& b) {
+    const uint64_t ua = a.csg | a.cmp, ub = b.csg | b.cmp;
+    const int ca = __builtin_popcountll(ua), cb = __builtin_popcountll(ub);
+    if (ca != cb) return ca < cb;
+    return ua < ub;
+  });
+
+  for (size_t i = 0; i < pairs.size();) {
+    const uint64_t union_bits = pairs[i].csg | pairs[i].cmp;
+    size_t end = i;
+    while (end < pairs.size() && (pairs[end].csg | pairs[end].cmp) == union_bits) ++end;
+    stats_.subsets_visited++;
+
+    // Same cross-product rule as RunDp: if no cut of this union applies a
+    // predicate (possible when connectivity came from the hyperedge
+    // relaxation), all cuts are admitted as forced cross products; otherwise
+    // only predicate-connected cuts are costed.
+    auto connected = [&](const CsgCmpPair& p) {
+      return !EdgesBetween(JoinSet(p.csg), JoinSet(p.cmp)).empty() ||
+             !NewOtherConjuncts(JoinSet(p.csg), JoinSet(p.cmp)).empty();
+    };
+    bool any_connected = false;
+    if (options_.avoid_cross_products) {
+      for (size_t k = i; k < end && !any_connected; ++k) any_connected = connected(pairs[k]);
+    }
+
+    // One KeepCandidates call per union (exactly like RunDp) so dp_entries
+    // and trace events stay comparable; both join orders of each pair are
+    // costed, mirroring RunDp's ordered splits.
+    std::vector<Candidate> candidates;
+    for (size_t k = i; k < end; ++k) {
+      if (options_.avoid_cross_products && any_connected && !connected(pairs[k])) continue;
+      auto lit = dp_.find(JoinSet(pairs[k].csg));
+      auto rit = dp_.find(JoinSet(pairs[k].cmp));
+      if (lit == dp_.end() || rit == dp_.end()) continue;
+      for (int lid : lit->second) {
+        for (int rid : rit->second) {
+          EmitJoinCandidates(lid, rid, &candidates);
+          EmitJoinCandidates(rid, lid, &candidates);
+        }
+      }
+    }
+    KeepCandidates(JoinSet(union_bits), std::move(candidates));
+    i = end;
+  }
+
+  const uint64_t full = JoinSet::AllUpTo(static_cast<int>(graph_->relations.size())).bits();
+  auto it = dp_.find(JoinSet(full));
+  if (it == dp_.end() || it->second.empty()) {
+    return Status::Internal("DPccp reached no full-set plan");
+  }
+  return it->second.front();
+}
+
+void JoinEnumerator::ResetSearchState() {
+  arena_.clear();
+  dp_.clear();
+}
+
+void JoinEnumerator::TraceStrategy(JoinEnumAlgorithm strategy, const std::string& reason) const {
+  if (options_.trace == nullptr) return;
+  PlanTraceEvent ev;
+  ev.phase = "strategy";
+  ev.target = SetName(JoinSet::AllUpTo(static_cast<int>(graph_->relations.size())));
+  ev.candidate = JoinEnumAlgorithmToString(strategy);
+  ev.action = "chosen";
+  ev.reason = reason;
+  options_.trace->Add(std::move(ev));
+}
+
 Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
   if (graph_->relations.empty()) {
     return Status::InvalidArgument("join enumeration needs at least one relation");
@@ -755,6 +972,7 @@ Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
   arena_.clear();
   dp_.clear();
   stats_ = JoinEnumStats{};
+  stats_.strategy_used = options_.algorithm;
   maximize_ = false;
 
   // Interesting orders: the required order plus single-column join-key
@@ -778,6 +996,7 @@ Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
     RELOPT_ASSIGN_OR_RETURN(final_id,
                             PickFinal(dp_[JoinSet::Single(0)], required_order, &order_satisfied));
   } else {
+    stats_.enumerated = true;
     switch (options_.algorithm) {
       case JoinEnumAlgorithm::kDpBushy: {
         RELOPT_ASSIGN_OR_RETURN(int id, RunDp(false, false));
@@ -822,6 +1041,68 @@ Result<JoinEnumResult> JoinEnumerator::Run(const OrderSpec& required_order) {
         RELOPT_ASSIGN_OR_RETURN(final_id, RunSimpliSquared());
         order_satisfied =
             required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
+        break;
+      }
+      case JoinEnumAlgorithm::kDpCcp: {
+        // The budgeted strategy ladder. DPccp itself only handles connected
+        // graphs (the full set must be a connected subgraph); disconnected
+        // graphs route to the cross-product-capable DP at small n, greedy
+        // beyond. When the csg-cmp pair count blows past dp_budget the
+        // search degrades to greedy-GOO, then Simpli-Squared.
+        BuildAdjacency();
+        const int n = static_cast<int>(graph_->relations.size());
+        const uint64_t full = JoinSet::AllUpTo(n).bits();
+        bool dp_table_final = false;  // PickFinal over dp_[full] afterwards
+
+        if (!SubsetConnected(JoinSet(full))) {
+          if (n <= 12) {
+            stats_.strategy_used = JoinEnumAlgorithm::kDpBushy;
+            TraceStrategy(JoinEnumAlgorithm::kDpBushy,
+                          "join graph disconnected; cross products required");
+            RELOPT_ASSIGN_OR_RETURN(int id, RunDp(false, false));
+            (void)id;
+            dp_table_final = true;
+          } else {
+            stats_.strategy_used = JoinEnumAlgorithm::kGreedy;
+            TraceStrategy(JoinEnumAlgorithm::kGreedy,
+                          "join graph disconnected and too large for DP");
+            RELOPT_ASSIGN_OR_RETURN(final_id, RunGreedy());
+          }
+        } else {
+          std::vector<CsgCmpPair> pairs;
+          if (EnumerateCsgCmpPairs(&pairs)) {
+            TraceStrategy(JoinEnumAlgorithm::kDpCcp,
+                          StringPrintf("%zu csg-cmp pairs within dp_budget=%llu", pairs.size(),
+                                       static_cast<unsigned long long>(options_.dp_budget)));
+            RELOPT_ASSIGN_OR_RETURN(int id, RunDpCcp(std::move(pairs)));
+            (void)id;
+            dp_table_final = true;
+          } else {
+            stats_.budget_fallback = true;
+            stats_.strategy_used = JoinEnumAlgorithm::kGreedy;
+            TraceStrategy(JoinEnumAlgorithm::kGreedy,
+                          StringPrintf("csg-cmp pairs exceed dp_budget=%llu; degrading",
+                                       static_cast<unsigned long long>(options_.dp_budget)));
+            ResetSearchState();
+            Result<int> greedy = RunGreedy();
+            if (greedy.ok()) {
+              final_id = *greedy;
+            } else {
+              stats_.strategy_used = JoinEnumAlgorithm::kSimpliSquared;
+              TraceStrategy(JoinEnumAlgorithm::kSimpliSquared,
+                            "greedy failed: " + greedy.status().ToString());
+              ResetSearchState();
+              RELOPT_ASSIGN_OR_RETURN(final_id, RunSimpliSquared());
+            }
+          }
+        }
+        if (dp_table_final) {
+          RELOPT_ASSIGN_OR_RETURN(final_id,
+                                  PickFinal(dp_[JoinSet(full)], required_order, &order_satisfied));
+        } else {
+          order_satisfied =
+              required_order.empty() || OrderSatisfies(arena_[final_id].order, required_order);
+        }
         break;
       }
     }

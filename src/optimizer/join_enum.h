@@ -40,6 +40,15 @@ enum class JoinEnumAlgorithm {
   /// smallest base row count (cheapest method per step). The baseline that
   /// shows how far plain table sizes get without any selectivity model.
   kSimpliSquared,
+  /// DPccp (Moerkotte & Neumann): DP over connected-subgraph/complement
+  /// pairs of the join graph only. Same candidate lists, interesting orders,
+  /// and dominance pruning as kDpBushy — cost-equal plans on connected
+  /// graphs — but the enumeration is output-sensitive in the number of
+  /// csg-cmp pairs instead of 3^n splits. Wrapped in a budgeted ladder:
+  /// above `dp_budget` csg-cmp pairs it degrades to greedy-GOO, then
+  /// kSimpliSquared; disconnected graphs route to kDpBushy (small n) or
+  /// greedy.
+  kDpCcp,
 };
 
 const char* JoinEnumAlgorithmToString(JoinEnumAlgorithm algorithm);
@@ -57,6 +66,10 @@ struct JoinEnumOptions {
   uint64_t random_seed = 42;
   /// Cap on kept candidates per DP subset (dominance-pruned first).
   size_t max_candidates_per_set = 8;
+  /// kDpCcp ladder: maximum csg-cmp pairs the DP may cost before degrading
+  /// to greedy (then Simpli-Squared). ~100k pairs keeps a 20-relation chain
+  /// exact and a 20-relation clique bounded.
+  uint64_t dp_budget = 100000;
   /// Optional decision log (not owned). When set, every candidate considered
   /// is recorded with its cost and — for losers — the prune reason. The
   /// worst-case strategy never traces (its "pruning" is inverted on purpose).
@@ -75,6 +88,21 @@ struct JoinEnumStats {
   uint64_t joins_costed = 0;    ///< (left cand, right cand, method) combos
   uint64_t dp_entries = 0;      ///< candidates kept across all subsets
   uint64_t subsets_visited = 0;
+  /// DPccp: csg-cmp pairs enumerated (also counts pairs seen before a
+  /// budget abort).
+  uint64_t csg_cmp_pairs = 0;
+  /// Selinger DP: subsets skipped before candidate generation because their
+  /// induced join graph is disconnected (avoid_cross_products fast path).
+  uint64_t disconnected_subsets_skipped = 0;
+  /// True iff a join search actually ran (>= 2 relations in the block);
+  /// metric export keys off this so non-join statements don't skew counters.
+  bool enumerated = false;
+  /// True iff kDpCcp aborted because the csg-cmp pair count exceeded
+  /// dp_budget and a cheaper strategy planned instead.
+  bool budget_fallback = false;
+  /// The strategy that produced the final plan (== the configured algorithm
+  /// except when the kDpCcp ladder degraded).
+  JoinEnumAlgorithm strategy_used = JoinEnumAlgorithm::kDpBushy;
 };
 
 /// \brief Enumerates join orders/methods for a QueryGraph and returns the
@@ -149,6 +177,45 @@ class JoinEnumerator {
   Result<int> RunRandom();
   Result<int> RunSimpliSquared();
 
+  // --- DPccp ---------------------------------------------------------------
+  /// A connected subgraph and a connected complement adjacent to it; the DP
+  /// costs both join orders of each pair.
+  struct CsgCmpPair {
+    uint64_t csg;
+    uint64_t cmp;
+  };
+
+  /// Per-relation adjacency masks of the join graph: plain equi-join edges
+  /// plus every other_conjunct's relation set treated as a clique (the
+  /// hyperedge relaxation — connectivity may hold without an applicable
+  /// predicate; the costing pass re-checks).
+  void BuildAdjacency();
+  /// Neighbors of `set` (members excluded), under `adjacency_`.
+  uint64_t Neighborhood(uint64_t set, uint64_t excluded) const;
+  /// True if `set` induces a connected subgraph under `adjacency_`.
+  bool SubsetConnected(JoinSet set) const;
+
+  /// Emits every csg-cmp pair of the join graph (Moerkotte & Neumann
+  /// enumeration). Stops early and returns false once more than
+  /// `options_.dp_budget` pairs exist; stats_.csg_cmp_pairs counts either
+  /// way.
+  bool EnumerateCsgCmpPairs(std::vector<CsgCmpPair>* out);
+  void EnumerateCsgRec(uint64_t set, uint64_t excluded, std::vector<CsgCmpPair>* out,
+                       bool* over_budget);
+  void EmitCsg(uint64_t csg, std::vector<CsgCmpPair>* out, bool* over_budget);
+  void EnumerateCmpRec(uint64_t csg, uint64_t cmp, uint64_t excluded,
+                       std::vector<CsgCmpPair>* out, bool* over_budget);
+
+  /// The DPccp search proper: assumes a connected graph and an in-budget
+  /// pair list; same KeepCandidates discipline as RunDp.
+  Result<int> RunDpCcp(std::vector<CsgCmpPair> pairs);
+
+  /// Drops all DP state (arena, memo table) so a ladder fallback re-runs
+  /// from scratch without double-seeded base relations.
+  void ResetSearchState();
+  /// Records a "strategy" PlanTrace event (kDpCcp ladder decisions).
+  void TraceStrategy(JoinEnumAlgorithm strategy, const std::string& reason) const;
+
   /// Cardinality-feedback signature of joining `left` x `right` over the
   /// given edges and freshly applicable other-conjuncts.
   std::string FeedbackJoinSignature(JoinSet left, JoinSet right, const std::vector<int>& edges,
@@ -177,6 +244,7 @@ class JoinEnumerator {
   std::vector<Candidate> arena_;
   std::unordered_map<JoinSet, std::vector<int>, JoinSetHash> dp_;
   std::vector<OrderSpec> interesting_orders_;
+  std::vector<uint64_t> adjacency_;  // per relation, see BuildAdjacency()
   JoinEnumStats stats_;
   bool maximize_ = false;
 };

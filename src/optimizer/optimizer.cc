@@ -36,6 +36,21 @@ Result<PhysicalPtr> Optimizer::Optimize(LogicalPtr plan, OptimizeInfo* info) {
     metrics.optimizer_plans_kept->Add(info->enum_stats.dp_entries);
     metrics.optimizer_optimize_us->Observe(
         static_cast<double>(MonotonicNanos() - start_nanos) / 1000.0);
+    // Join-enumeration counters only when a join search actually ran, so
+    // single-table and non-join statements don't skew strategy counts.
+    const JoinEnumStats& es = info->enum_stats;
+    if (es.enumerated) {
+      metrics.join_enum_joins_costed->Add(es.joins_costed);
+      metrics.join_enum_dp_entries->Add(es.dp_entries);
+      metrics.join_enum_subsets_visited->Add(es.subsets_visited);
+      metrics.join_enum_csg_cmp_pairs->Add(es.csg_cmp_pairs);
+      metrics.join_enum_disconnected_skips->Add(es.disconnected_subsets_skipped);
+      if (es.budget_fallback) metrics.join_enum_budget_fallbacks->Add(1);
+      const size_t strategy = static_cast<size_t>(es.strategy_used);
+      if (strategy < EngineMetrics::kJoinEnumStrategies) {
+        metrics.join_enum_strategy[strategy]->Add(1);
+      }
+    }
   };
 
   RELOPT_ASSIGN_OR_RETURN(plan, NormalizeLogicalPlan(std::move(plan)));

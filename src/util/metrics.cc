@@ -326,6 +326,23 @@ const EngineMetrics& EngineMetrics::Get() {
     m.optimizer_feedback_records = r.counter("relopt.optimizer.feedback.records");
     m.optimizer_feedback_overrides = r.counter("relopt.optimizer.feedback.overrides");
     m.optimizer_feedback_invalidations = r.counter("relopt.optimizer.feedback.invalidations");
+    m.join_enum_joins_costed = r.counter("relopt.optimizer.join_enum.joins_costed");
+    m.join_enum_dp_entries = r.counter("relopt.optimizer.join_enum.dp_entries");
+    m.join_enum_subsets_visited = r.counter("relopt.optimizer.join_enum.subsets_visited");
+    m.join_enum_csg_cmp_pairs = r.counter("relopt.optimizer.join_enum.csg_cmp_pairs");
+    m.join_enum_disconnected_skips =
+        r.counter("relopt.optimizer.join_enum.disconnected_subsets_skipped");
+    m.join_enum_budget_fallbacks = r.counter("relopt.optimizer.join_enum.budget_fallbacks");
+    // Metric-name tokens for the JoinEnumAlgorithm values, in enum order
+    // (JoinEnumAlgorithmToString uses '-', which Prometheus names reject).
+    static const char* const kStrategyTokens[EngineMetrics::kJoinEnumStrategies] = {
+        "dp_bushy", "dp_leftdeep", "greedy", "exhaustive",
+        "random",   "worst",       "simpli2", "dpccp",
+    };
+    for (size_t i = 0; i < EngineMetrics::kJoinEnumStrategies; ++i) {
+      m.join_enum_strategy[i] =
+          r.counter(std::string("relopt.optimizer.join_enum.strategy.") + kStrategyTokens[i]);
+    }
     m.engine_sessions_opened = r.counter("relopt.engine.sessions_opened");
     m.engine_statements_prepared = r.counter("relopt.engine.statements_prepared");
     m.engine_prepared_executions = r.counter("relopt.engine.prepared_executions");

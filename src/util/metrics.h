@@ -193,6 +193,18 @@ struct EngineMetrics {
   MetricCounter* optimizer_feedback_records;        ///< actuals harvested into the store
   MetricCounter* optimizer_feedback_overrides;      ///< estimates replaced by observations
   MetricCounter* optimizer_feedback_invalidations;  ///< entries dropped (DDL/ANALYZE/DML)
+  // join enumeration (bumped once per optimized join block; see
+  // JoinEnumStats for the per-optimization counterparts)
+  MetricCounter* join_enum_joins_costed;
+  MetricCounter* join_enum_dp_entries;
+  MetricCounter* join_enum_subsets_visited;
+  MetricCounter* join_enum_csg_cmp_pairs;
+  MetricCounter* join_enum_disconnected_skips;
+  MetricCounter* join_enum_budget_fallbacks;
+  /// One counter per JoinEnumAlgorithm value (same order as the enum),
+  /// counting join blocks whose final plan that strategy produced.
+  static constexpr size_t kJoinEnumStrategies = 8;
+  MetricCounter* join_enum_strategy[kJoinEnumStrategies];
   // serving layer
   MetricCounter* engine_sessions_opened;
   MetricCounter* engine_statements_prepared;

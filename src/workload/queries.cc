@@ -1,20 +1,76 @@
 #include "workload/queries.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "util/rng.h"
 #include "workload/generator.h"
 
 namespace relopt {
 
-Result<std::string> BuildChainWorkload(Database* db, const JoinWorkloadSpec& spec) {
-  const int n = spec.num_relations;
-  // Sizes vary geometrically so join order matters.
+namespace {
+
+/// An FK column into a serial-id domain of `target_rows` rows: uniform over
+/// [0, target_rows-1], or Zipf over [1, target_rows-1] when skewed (rank 1 —
+/// the hottest id — is 1; every drawn value is a live id either way).
+ColumnSpec FkColumn(std::string name, uint64_t target_rows, double skew) {
+  if (skew > 0.0) {
+    return ColumnSpec::Zipf(std::move(name), target_rows > 1 ? target_rows - 1 : 1, skew);
+  }
+  return ColumnSpec::Uniform(std::move(name), 0, static_cast<int64_t>(target_rows) - 1);
+}
+
+/// Geometric size ladder r0..r{n-1} starting at base_rows.
+std::vector<uint64_t> GeometricSizes(const JoinWorkloadSpec& spec) {
   std::vector<uint64_t> sizes;
   double rows = static_cast<double>(spec.base_rows);
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < spec.num_relations; ++i) {
     sizes.push_back(static_cast<uint64_t>(std::max(1.0, rows)));
     rows *= spec.growth;
   }
+  return sizes;
+}
+
+}  // namespace
+
+const char* JoinTopologyToString(JoinTopology topology) {
+  switch (topology) {
+    case JoinTopology::kChain:
+      return "chain";
+    case JoinTopology::kStar:
+      return "star";
+    case JoinTopology::kCycle:
+      return "cycle";
+    case JoinTopology::kClique:
+      return "clique";
+    case JoinTopology::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+Result<std::string> BuildJoinWorkload(Database* db, JoinTopology topology,
+                                      const JoinWorkloadSpec& spec) {
+  switch (topology) {
+    case JoinTopology::kChain:
+      return BuildChainWorkload(db, spec);
+    case JoinTopology::kStar:
+      return BuildStarWorkload(db, spec);
+    case JoinTopology::kCycle:
+      return BuildCycleWorkload(db, spec);
+    case JoinTopology::kClique:
+      return BuildCliqueWorkload(db, spec);
+    case JoinTopology::kRandom:
+      return BuildRandomWorkload(db, spec);
+  }
+  return Status::InvalidArgument("unknown join topology");
+}
+
+Result<std::string> BuildChainWorkload(Database* db, const JoinWorkloadSpec& spec) {
+  const int n = spec.num_relations;
+  // Sizes vary geometrically so join order matters.
+  std::vector<uint64_t> sizes = GeometricSizes(spec);
 
   for (int i = 0; i < n; ++i) {
     TableSpec t;
@@ -24,8 +80,7 @@ Result<std::string> BuildChainWorkload(Database* db, const JoinWorkloadSpec& spe
     t.columns.push_back(ColumnSpec::Serial("id"));
     if (i + 1 < n) {
       // FK into the next relation's serial id domain.
-      t.columns.push_back(
-          ColumnSpec::Uniform("fk", 0, static_cast<int64_t>(sizes[i + 1]) - 1));
+      t.columns.push_back(FkColumn("fk", sizes[i + 1], spec.fk_skew));
     } else {
       t.columns.push_back(ColumnSpec::Uniform("fk", 0, 99));
     }
@@ -69,8 +124,7 @@ Result<std::string> BuildStarWorkload(Database* db, const JoinWorkloadSpec& spec
   fact.seed = spec.seed;
   fact.columns.push_back(ColumnSpec::Serial("id"));
   for (int i = 0; i < dims; ++i) {
-    fact.columns.push_back(ColumnSpec::Uniform("d" + std::to_string(i), 0,
-                                               static_cast<int64_t>(dim_sizes[i]) - 1));
+    fact.columns.push_back(FkColumn("d" + std::to_string(i), dim_sizes[i], spec.fk_skew));
   }
   fact.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
   RELOPT_RETURN_NOT_OK(GenerateTable(db, fact));
@@ -106,12 +160,7 @@ Result<std::string> BuildStarWorkload(Database* db, const JoinWorkloadSpec& spec
 
 Result<std::string> BuildCliqueWorkload(Database* db, const JoinWorkloadSpec& spec) {
   const int n = spec.num_relations;
-  std::vector<uint64_t> sizes;
-  double rows = static_cast<double>(spec.base_rows);
-  for (int i = 0; i < n; ++i) {
-    sizes.push_back(static_cast<uint64_t>(std::max(1.0, rows)));
-    rows *= spec.growth;
-  }
+  std::vector<uint64_t> sizes = GeometricSizes(spec);
   const int64_t domain = 200;  // shared join-key domain
 
   for (int i = 0; i < n; ++i) {
@@ -120,7 +169,9 @@ Result<std::string> BuildCliqueWorkload(Database* db, const JoinWorkloadSpec& sp
     t.num_rows = sizes[i];
     t.seed = spec.seed + static_cast<uint64_t>(i);
     t.columns.push_back(ColumnSpec::Serial("id"));
-    t.columns.push_back(ColumnSpec::Uniform("k", 0, domain - 1));
+    t.columns.push_back(spec.fk_skew > 0.0
+                            ? ColumnSpec::Zipf("k", static_cast<uint64_t>(domain), spec.fk_skew)
+                            : ColumnSpec::Uniform("k", 0, domain - 1));
     t.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
     RELOPT_RETURN_NOT_OK(GenerateTable(db, t));
   }
@@ -138,6 +189,102 @@ Result<std::string> BuildCliqueWorkload(Database* db, const JoinWorkloadSpec& sp
       sql += spec.prefix + std::to_string(i) + ".k = " + spec.prefix + std::to_string(j) + ".k";
       first = false;
     }
+  }
+  return sql;
+}
+
+Result<std::string> BuildCycleWorkload(Database* db, const JoinWorkloadSpec& spec) {
+  const int n = spec.num_relations;
+  if (n < 3) return Status::InvalidArgument("cycle topology needs at least 3 relations");
+  std::vector<uint64_t> sizes = GeometricSizes(spec);
+
+  for (int i = 0; i < n; ++i) {
+    TableSpec t;
+    t.name = spec.prefix + std::to_string(i);
+    t.num_rows = sizes[i];
+    t.seed = spec.seed + static_cast<uint64_t>(i);
+    t.columns.push_back(ColumnSpec::Serial("id"));
+    // The last relation's fk closes the cycle back into r0's id domain.
+    const uint64_t target = (i + 1 < n) ? sizes[i + 1] : sizes[0];
+    t.columns.push_back(FkColumn("fk", target, spec.fk_skew));
+    t.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
+    RELOPT_RETURN_NOT_OK(GenerateTable(db, t));
+    if (spec.with_indexes) {
+      RELOPT_ASSIGN_OR_RETURN(
+          IndexInfo * idx,
+          db->catalog()->CreateIndex("idx_" + t.name + "_id", t.name, {"id"}, false));
+      (void)idx;
+    }
+  }
+
+  std::string sql = "SELECT count(*) FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    sql += spec.prefix + std::to_string(i);
+  }
+  sql += " WHERE ";
+  for (int i = 0; i + 1 < n; ++i) {
+    if (i > 0) sql += " AND ";
+    sql += spec.prefix + std::to_string(i) + ".fk = " + spec.prefix + std::to_string(i + 1) +
+           ".id";
+  }
+  sql += " AND " + spec.prefix + std::to_string(n - 1) + ".fk = " + spec.prefix + "0.id";
+  return sql;
+}
+
+Result<std::string> BuildRandomWorkload(Database* db, const JoinWorkloadSpec& spec) {
+  const int n = spec.num_relations;
+  std::vector<uint64_t> sizes = GeometricSizes(spec);
+
+  // Deterministic connected graph: a random spanning tree (each relation
+  // joins a random earlier one) plus ~n/3 extra edges. Edges are kept as
+  // (i, j) with i > j; the fk column lives on the higher-numbered side.
+  Rng rng(spec.seed);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.emplace_back(i, static_cast<int>(rng.UniformInt(0, i - 1)));
+  }
+  const int extra = n / 3;
+  for (int e = 0; e < extra && n >= 2; ++e) {
+    int i = static_cast<int>(rng.UniformInt(1, n - 1));
+    int j = static_cast<int>(rng.UniformInt(0, i - 1));
+    if (std::find(edges.begin(), edges.end(), std::make_pair(i, j)) == edges.end()) {
+      edges.emplace_back(i, j);
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    TableSpec t;
+    t.name = spec.prefix + std::to_string(i);
+    t.num_rows = sizes[i];
+    t.seed = spec.seed + static_cast<uint64_t>(i);
+    t.columns.push_back(ColumnSpec::Serial("id"));
+    for (const auto& [hi, lo] : edges) {
+      if (hi == i) {
+        t.columns.push_back(FkColumn("fk" + std::to_string(lo), sizes[lo], spec.fk_skew));
+      }
+    }
+    t.columns.push_back(ColumnSpec::Uniform("val", 0, 999));
+    RELOPT_RETURN_NOT_OK(GenerateTable(db, t));
+    if (spec.with_indexes) {
+      RELOPT_ASSIGN_OR_RETURN(
+          IndexInfo * idx,
+          db->catalog()->CreateIndex("idx_" + t.name + "_id", t.name, {"id"}, false));
+      (void)idx;
+    }
+  }
+
+  std::string sql = "SELECT count(*) FROM ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    sql += spec.prefix + std::to_string(i);
+  }
+  sql += " WHERE ";
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (e > 0) sql += " AND ";
+    sql += spec.prefix + std::to_string(edges[e].first) + ".fk" +
+           std::to_string(edges[e].second) + " = " + spec.prefix +
+           std::to_string(edges[e].second) + ".id";
   }
   return sql;
 }

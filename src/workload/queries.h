@@ -1,5 +1,6 @@
 // Join query/topology families for the optimizer experiments:
-// chain, star, and clique join graphs, sized by a single parameter n.
+// chain, star, cycle, clique, and random join graphs, sized by a single
+// parameter n — the generated Join-Order-Benchmark-style workload.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +21,20 @@ struct JoinWorkloadSpec {
   uint64_t seed = 42;
   bool with_indexes = false;   ///< secondary index on every join column
   std::string prefix = "r";    ///< table name prefix
+  /// Zipf skew of every FK / join-key column (0 = uniform). Skewed FK
+  /// distributions concentrate matches on a few hot ids — the regime where
+  /// misestimated join orders hurt the most.
+  double fk_skew = 0.0;
 };
+
+/// The topology families, for sweeping code (bench/tests).
+enum class JoinTopology { kChain, kStar, kCycle, kClique, kRandom };
+
+const char* JoinTopologyToString(JoinTopology topology);
+
+/// Dispatches to the matching Build*Workload below.
+Result<std::string> BuildJoinWorkload(Database* db, JoinTopology topology,
+                                      const JoinWorkloadSpec& spec);
 
 /// Builds tables r0..r{n-1}: r_i(id serial, fk uniform over r_{i+1}.id, pad)
 /// and returns the chain query
@@ -34,5 +48,15 @@ Result<std::string> BuildStarWorkload(Database* db, const JoinWorkloadSpec& spec
 /// Builds n tables that all share a join column k (uniform over a small
 /// domain) and returns the clique query with all pairwise equi-joins.
 Result<std::string> BuildCliqueWorkload(Database* db, const JoinWorkloadSpec& spec);
+
+/// Chain plus the closing edge: r{n-1}.fk points back into r0's id domain,
+/// so the query graph is a single cycle. Needs num_relations >= 3.
+Result<std::string> BuildCycleWorkload(Database* db, const JoinWorkloadSpec& spec);
+
+/// A random connected graph, deterministic from `seed`: a random spanning
+/// tree (each r_i, i >= 1, joins a random earlier relation) plus ~n/3 extra
+/// edges. Each edge (i, j), i > j, is a column fk{j} on r_i drawn from
+/// r_j's id domain with the predicate r{i}.fk{j} = r{j}.id.
+Result<std::string> BuildRandomWorkload(Database* db, const JoinWorkloadSpec& spec);
 
 }  // namespace relopt

@@ -3,21 +3,72 @@
 // across the full execution-mode matrix: parallelism x drive mode.
 #pragma once
 
+#include <cstdlib>
 #include <string>
 
 #include "test_util.h"
+#include "workload/queries.h"
 
 namespace relopt {
 namespace tu {
+
+/// The spec the differential fixture builds every join-topology workload
+/// with. Small tables: the point is plan-shape diversity across execution
+/// modes, not data volume. Shared with the drift guard in join_order_test.cc
+/// that pins the builder output to the literals below.
+inline JoinWorkloadSpec DifferentialJoinSpec(const char* prefix) {
+  JoinWorkloadSpec spec;
+  spec.num_relations = 4;
+  spec.base_rows = 30;
+  spec.growth = 1.5;
+  spec.dim_rows = 10;
+  spec.seed = 7;
+  spec.prefix = prefix;
+  return spec;
+}
+
+/// Builder output for each topology under DifferentialJoinSpec, pinned as
+/// literals so the corpus below stays greppable. join_order_test.cc fails if
+/// the builders drift from these strings.
+inline constexpr const char* kJwChainQuery =
+    "SELECT count(*) FROM jw_c0, jw_c1, jw_c2, jw_c3 WHERE jw_c0.fk = jw_c1.id "
+    "AND jw_c1.fk = jw_c2.id AND jw_c2.fk = jw_c3.id";
+inline constexpr const char* kJwStarQuery =
+    "SELECT count(*) FROM jw_s_fact, jw_s_dim0, jw_s_dim1, jw_s_dim2 WHERE "
+    "jw_s_fact.d0 = jw_s_dim0.id AND jw_s_fact.d1 = jw_s_dim1.id AND "
+    "jw_s_fact.d2 = jw_s_dim2.id";
+inline constexpr const char* kJwCycleQuery =
+    "SELECT count(*) FROM jw_y0, jw_y1, jw_y2, jw_y3 WHERE jw_y0.fk = jw_y1.id "
+    "AND jw_y1.fk = jw_y2.id AND jw_y2.fk = jw_y3.id AND jw_y3.fk = jw_y0.id";
+inline constexpr const char* kJwCliqueQuery =
+    "SELECT count(*) FROM jw_q0, jw_q1, jw_q2, jw_q3 WHERE jw_q0.k = jw_q1.k "
+    "AND jw_q0.k = jw_q2.k AND jw_q0.k = jw_q3.k AND jw_q1.k = jw_q2.k AND "
+    "jw_q1.k = jw_q3.k AND jw_q2.k = jw_q3.k";
+inline constexpr const char* kJwRandomQuery =
+    "SELECT count(*) FROM jw_r0, jw_r1, jw_r2, jw_r3 WHERE jw_r1.fk0 = jw_r0.id "
+    "AND jw_r2.fk0 = jw_r0.id AND jw_r3.fk0 = jw_r0.id";
 
 /// Loads the fixture both differential suites run against:
 ///   emp(id, name, dept_id, salary)  — 300 rows, 10 departments
 ///   dept(id, dname)                 — 10 rows
 ///   empty_t(x, y)                   — no rows
 ///   nulls_t(a, b)                   — 90 rows, two thirds of `b` NULL
-/// with stats analyzed.
+/// plus one tiny generated join workload per topology (jw_c* chain, jw_s*
+/// star, jw_y* cycle, jw_q* clique, jw_r* random), with stats analyzed.
 inline void LoadDifferentialFixture(Database* db) {
   LoadEmpDept(db, 300, 10);
+  struct {
+    JoinTopology topology;
+    const char* prefix;
+  } workloads[] = {{JoinTopology::kChain, "jw_c"},
+                   {JoinTopology::kStar, "jw_s"},
+                   {JoinTopology::kCycle, "jw_y"},
+                   {JoinTopology::kClique, "jw_q"},
+                   {JoinTopology::kRandom, "jw_r"}};
+  for (const auto& w : workloads) {
+    Result<std::string> q = BuildJoinWorkload(db, w.topology, DifferentialJoinSpec(w.prefix));
+    if (!q.ok()) std::abort();  // fixture bug, not a test condition
+  }
   Sql(db, "CREATE TABLE empty_t (x INT, y TEXT)");
   // A NULL-heavy table: two thirds of `b` are NULL, for predicate,
   // selection-vector, and NULL-group edge cases under three-valued logic.
@@ -92,6 +143,12 @@ const char* const kDifferentialQueries[] = {
     "LIMIT 40",
     "SELECT dept_id, sum(CASE WHEN salary > 3000 THEN salary ELSE 0 END) FROM emp "
     "GROUP BY dept_id",
+    // --- generated join-order workload, one query per topology -------------
+    kJwChainQuery,
+    kJwStarQuery,
+    kJwCycleQuery,
+    kJwCliqueQuery,
+    kJwRandomQuery,
 };
 
 /// The GROUP BY / global aggregate subset, the target of the exact-profile

@@ -111,7 +111,8 @@ TEST_F(JoinEnumTest, AllStrategiesProduceCorrectResults) {
   int64_t expected = Rows(query_);
   for (JoinEnumAlgorithm a :
        {JoinEnumAlgorithm::kDpLeftDeep, JoinEnumAlgorithm::kGreedy,
-        JoinEnumAlgorithm::kExhaustive, JoinEnumAlgorithm::kRandom, JoinEnumAlgorithm::kWorst}) {
+        JoinEnumAlgorithm::kExhaustive, JoinEnumAlgorithm::kRandom, JoinEnumAlgorithm::kWorst,
+        JoinEnumAlgorithm::kDpCcp}) {
     db_.options().optimizer.join.algorithm = a;
     EXPECT_EQ(Rows(query_), expected) << JoinEnumAlgorithmToString(a);
   }

@@ -53,7 +53,8 @@ TEST_P(TopologyAgreementTest, AllAlgorithmsAgree) {
 
   for (JoinEnumAlgorithm a :
        {JoinEnumAlgorithm::kDpLeftDeep, JoinEnumAlgorithm::kGreedy,
-        JoinEnumAlgorithm::kExhaustive, JoinEnumAlgorithm::kRandom, JoinEnumAlgorithm::kWorst}) {
+        JoinEnumAlgorithm::kExhaustive, JoinEnumAlgorithm::kRandom, JoinEnumAlgorithm::kWorst,
+        JoinEnumAlgorithm::kDpCcp}) {
     db.options().optimizer.join.algorithm = a;
     // The worst-case baseline can legitimately produce cross-product plans
     // with astronomically many intermediate tuples (that is its purpose);
